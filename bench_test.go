@@ -1,0 +1,165 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (DESIGN.md, per-experiment index). Each benchmark runs the
+// complete experiment pipeline — ab-initio model, partitioning,
+// execution simulation, agreement statistics — on the paper-scale
+// trace of its application (generated once per process and cached).
+//
+//	go test -bench=. -benchmem                    # everything
+//	go test -bench=BenchmarkFig5BL2D -benchmem    # one figure
+//
+// The companion experiment binary (cmd/samrbench) prints the same
+// series these benchmarks compute.
+package samr_test
+
+import (
+	"testing"
+
+	"samr/internal/apps"
+	"samr/internal/experiments"
+	"samr/internal/trace"
+)
+
+// paperTrace fetches (and on first use generates) the cached
+// paper-scale trace outside the timed region.
+func paperTrace(b *testing.B, app string) *trace.Trace {
+	b.Helper()
+	tr, err := apps.PaperTrace(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkFig1BL2DDynamicBehavior regenerates Figure 1: BL2D load
+// imbalance and communication over time under one static partitioner.
+func BenchmarkFig1BL2DDynamicBehavior(b *testing.B) {
+	tr := paperTrace(b, "BL2D")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig1(tr, experiments.DefaultProcs)
+		if len(f.Steps) != tr.Len() {
+			b.Fatal("figure truncated")
+		}
+	}
+}
+
+// benchModelVsActual is the shared body of the Figures 4-7 benchmarks.
+func benchModelVsActual(b *testing.B, app string) {
+	tr := paperTrace(b, app)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := experiments.FigModelVsActual(tr, experiments.DefaultProcs)
+		if v.Mig == nil || v.Comm == nil {
+			b.Fatal("missing panels")
+		}
+	}
+}
+
+// BenchmarkFig4RM2D regenerates Figure 4 (RM2D model vs measured).
+func BenchmarkFig4RM2D(b *testing.B) { benchModelVsActual(b, "RM2D") }
+
+// BenchmarkFig5BL2D regenerates Figure 5 (BL2D model vs measured).
+func BenchmarkFig5BL2D(b *testing.B) { benchModelVsActual(b, "BL2D") }
+
+// BenchmarkFig6SC2D regenerates Figure 6 (SC2D model vs measured).
+func BenchmarkFig6SC2D(b *testing.B) { benchModelVsActual(b, "SC2D") }
+
+// BenchmarkFig7TP2D regenerates Figure 7 (TP2D model vs measured).
+func BenchmarkFig7TP2D(b *testing.B) { benchModelVsActual(b, "TP2D") }
+
+// BenchmarkClassificationTrajectory regenerates the Figure 3 (right)
+// demonstration: the continuous classification-space locus.
+func BenchmarkClassificationTrajectory(b *testing.B) {
+	tr := paperTrace(b, "BL2D")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := experiments.ClassificationTrajectory(tr, experiments.DefaultProcs)
+		if len(f.Data) != 4 {
+			b.Fatal("bad trajectory")
+		}
+	}
+}
+
+// BenchmarkAblationMigrationDenominator regenerates Ablation A: the
+// beta_m denominator comparison over all four applications.
+func BenchmarkAblationMigrationDenominator(b *testing.B) {
+	trs := make([]*trace.Trace, 0, len(apps.Names))
+	for _, app := range apps.Names {
+		trs = append(trs, paperTrace(b, app))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range trs {
+			experiments.AblationDenominator(tr, experiments.DefaultProcs)
+		}
+	}
+}
+
+// BenchmarkAblationPartitionerFamilies regenerates Ablation B: the
+// domain/patch/hybrid family comparison (on BL2D; the other apps run
+// through cmd/samrbench).
+func BenchmarkAblationPartitionerFamilies(b *testing.B) {
+	tr := paperTrace(b, "BL2D")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationPartitioners(tr, experiments.DefaultProcs)
+		if len(t.Rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkMetaPartitionerVsStatic regenerates Ablation C: dynamic
+// meta-partitioner selection against every static choice (on BL2D).
+func BenchmarkMetaPartitionerVsStatic(b *testing.B) {
+	tr := paperTrace(b, "BL2D")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.MetaVsStatic(tr, experiments.DefaultProcs)
+		if len(t.Rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkAblationAbsoluteImportance regenerates Ablation D: raw mean
+// penalty vs size-weighted need (on SC2D, whose grid size oscillates).
+func BenchmarkAblationAbsoluteImportance(b *testing.B) {
+	tr := paperTrace(b, "SC2D")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := experiments.AblationAbsoluteImportance(tr, experiments.DefaultProcs)
+		if len(f.Data) != 3 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkAblationPostMapping regenerates Ablation E: the paper's
+// post-mapping migration remedy with and without the wrapper (on TP2D,
+// whose rotating feature migrates constantly).
+func BenchmarkAblationPostMapping(b *testing.B) {
+	tr := paperTrace(b, "TP2D")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationPostMapping(tr, experiments.DefaultProcs)
+		if len(t.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures the AMR-substrate cost of
+// producing one reduced-scale trace end to end (solver, regridding,
+// snapshotting) — the input side of every experiment.
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := apps.PaperConfig()
+	cfg.BaseSize = 16
+	cfg.MaxLevels = 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := apps.Generate("TP2D", cfg, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

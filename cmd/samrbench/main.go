@@ -1,0 +1,173 @@
+// Command samrbench reproduces the paper's evaluation figures and the
+// repository's ablations, printing each figure's data series and
+// agreement statistics as text tables.
+//
+// Figure mapping (paper -> experiment):
+//
+//	fig1 -> BL2D dynamic behaviour under a static partitioner
+//	fig4 -> RM2D  model vs actual (communication and data migration)
+//	fig5 -> BL2D  model vs actual
+//	fig6 -> SC2D  model vs actual
+//	fig7 -> TP2D  model vs actual
+//	trajectory -> Figure 3 (right): classification-space locus
+//	ablationA..E -> DESIGN.md ablations
+//
+// Usage:
+//
+//	samrbench -experiment fig5
+//	samrbench -experiment all -procs 16
+//	samrbench -experiment fig4 -quick      (reduced scale, for smoke tests)
+//	samrbench -experiment fig1 -trace bl2d.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samr/internal/apps"
+	"samr/internal/experiments"
+	"samr/internal/trace"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "fig1, fig4, fig5, fig6, fig7, trajectory, ablationA, ablationB, ablationC, ablationD, ablationE, or all")
+		procs  = flag.Int("procs", experiments.DefaultProcs, "number of processors to simulate")
+		quick  = flag.Bool("quick", false, "use reduced-scale traces (16x16 base, 3 levels, 20 steps)")
+		trPath = flag.String("trace", "", "use a trace file instead of generating the experiment's default trace")
+		format = flag.String("format", "table", "figure output format: table or csv")
+	)
+	flag.Parse()
+	if err := run(*exp, *procs, *quick, *trPath, *format == "csv"); err != nil {
+		fmt.Fprintln(os.Stderr, "samrbench:", err)
+		os.Exit(1)
+	}
+}
+
+// emit prints a figure in the selected format.
+func emit(f *experiments.Figure, csvOut bool) error {
+	if csvOut {
+		return f.WriteCSV(os.Stdout)
+	}
+	f.Print(os.Stdout)
+	return nil
+}
+
+// figApps maps model-vs-actual figures to their applications.
+var figApps = map[string]string{
+	"fig4": "RM2D",
+	"fig5": "BL2D",
+	"fig6": "SC2D",
+	"fig7": "TP2D",
+}
+
+func run(exp string, procs int, quick bool, trPath string, csvOut bool) error {
+	load := func(app string) (*trace.Trace, error) {
+		if trPath != "" {
+			f, err := os.Open(trPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return trace.Read(f)
+		}
+		if quick {
+			return apps.QuickTrace(app)
+		}
+		return apps.PaperTrace(app)
+	}
+
+	one := func(name string) error {
+		switch {
+		case name == "fig1":
+			tr, err := load("BL2D")
+			if err != nil {
+				return err
+			}
+			if err := emit(experiments.Fig1(tr, procs), csvOut); err != nil {
+				return err
+			}
+		case figApps[name] != "":
+			tr, err := load(figApps[name])
+			if err != nil {
+				return err
+			}
+			v := experiments.FigModelVsActual(tr, procs)
+			if !csvOut {
+				fmt.Printf("--- %s (paper Figure %s) ---\n", v.App, name[3:])
+			}
+			if err := emit(v.Comm, csvOut); err != nil {
+				return err
+			}
+			if err := emit(v.Mig, csvOut); err != nil {
+				return err
+			}
+		case name == "trajectory":
+			tr, err := load("BL2D")
+			if err != nil {
+				return err
+			}
+			if err := emit(experiments.ClassificationTrajectory(tr, procs), csvOut); err != nil {
+				return err
+			}
+		case name == "ablationA":
+			for _, app := range apps.Names {
+				tr, err := load(app)
+				if err != nil {
+					return err
+				}
+				if err := emit(experiments.AblationDenominator(tr, procs), csvOut); err != nil {
+					return err
+				}
+			}
+		case name == "ablationB":
+			for _, app := range apps.Names {
+				tr, err := load(app)
+				if err != nil {
+					return err
+				}
+				experiments.AblationPartitioners(tr, procs).Print(os.Stdout)
+			}
+		case name == "ablationC":
+			for _, app := range apps.Names {
+				tr, err := load(app)
+				if err != nil {
+					return err
+				}
+				experiments.MetaVsStatic(tr, procs).Print(os.Stdout)
+			}
+		case name == "ablationD":
+			for _, app := range apps.Names {
+				tr, err := load(app)
+				if err != nil {
+					return err
+				}
+				if err := emit(experiments.AblationAbsoluteImportance(tr, procs), csvOut); err != nil {
+					return err
+				}
+			}
+		case name == "ablationE":
+			for _, app := range apps.Names {
+				tr, err := load(app)
+				if err != nil {
+					return err
+				}
+				experiments.AblationPostMapping(tr, procs).Print(os.Stdout)
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if exp == "all" {
+		for _, name := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "trajectory", "ablationA", "ablationB", "ablationC", "ablationD", "ablationE"} {
+			if err := one(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return one(exp)
+}

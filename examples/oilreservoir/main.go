@@ -1,0 +1,54 @@
+// Oil-reservoir example: the paper's BL2D validation pipeline end to
+// end. A Buckley–Leverett two-phase-flow simulation generates a
+// partition-independent trace; the model predicts the per-step
+// communication and migration pressure ab initio (beta_c, beta_m); the
+// execution simulator measures the actual relative communication and
+// data migration under the statically configured hybrid partitioner;
+// and the two are compared — the content of the paper's Figures 1
+// and 5.
+//
+//	go run ./examples/oilreservoir           (paper scale, ~10 s)
+//	go run ./examples/oilreservoir -quick    (reduced scale)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samr/internal/apps"
+	"samr/internal/experiments"
+	"samr/internal/trace"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-scale run")
+	procs := flag.Int("procs", 16, "processors to simulate")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	if *quick {
+		tr, err = apps.QuickTrace("BL2D")
+	} else {
+		tr, err = apps.PaperTrace("BL2D")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Figure 1: dynamic behaviour under one static partitioner")
+	experiments.Fig1(tr, *procs).Print(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("Figure 5: model (ab initio) vs simulator (measured)")
+	v := experiments.FigModelVsActual(tr, *procs)
+	v.Comm.Print(os.Stdout)
+	v.Mig.Print(os.Stdout)
+
+	fmt.Println()
+	fmt.Printf("summary: beta_m/migration corr %.3f (cautious on %.0f%% of steps), "+
+		"beta_c/comm corr %.3f (aggressive on %.0f%% of steps)\n",
+		v.MigCorr, 100*v.MigCautious, v.CommCorr, 100*v.CommAggressor)
+}

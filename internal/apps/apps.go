@@ -1,0 +1,104 @@
+// Package apps wires the four solver kernels to the AMR driver with the
+// paper's experimental configuration (section 5.1.1): 5 levels of
+// factor-2 refinement in space and time, regridding every 4 steps on
+// each level, 100 coarse time steps, minimum block dimension
+// (granularity) 2. It also caches generated traces per process so the
+// experiment harness and benchmarks do not pay trace generation
+// repeatedly.
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"samr/internal/amr"
+	"samr/internal/solver"
+	"samr/internal/trace"
+)
+
+// Names lists the four applications in the paper's presentation order
+// of the result figures (Figures 4-7).
+var Names = []string{"RM2D", "BL2D", "SC2D", "TP2D"}
+
+// Kernel returns the named application kernel.
+func Kernel(name string) (solver.Kernel, error) {
+	switch name {
+	case "TP2D":
+		return solver.NewTransport(), nil
+	case "SC2D":
+		return solver.NewScalarWave(), nil
+	case "BL2D":
+		return solver.NewBuckleyLeverett(), nil
+	case "RM2D":
+		return solver.NewEuler(), nil
+	}
+	return nil, fmt.Errorf("apps: unknown application %q (have %v)", name, Names)
+}
+
+// PaperConfig is the driver configuration of the paper's validation
+// runs.
+func PaperConfig() amr.Config {
+	cfg := amr.DefaultConfig()
+	cfg.BaseSize = 32
+	cfg.MaxLevels = 5
+	cfg.RefRatio = 2
+	cfg.RegridEvery = 4
+	cfg.Cluster.MinWidth = 2
+	return cfg
+}
+
+// PaperSteps is the number of coarse time steps of the paper's runs.
+const PaperSteps = 100
+
+// Generate runs the named application for steps coarse steps and
+// returns its trace.
+func Generate(name string, cfg amr.Config, steps int) (*trace.Trace, error) {
+	k, err := Kernel(name)
+	if err != nil {
+		return nil, err
+	}
+	return amr.Run(k, cfg, steps)
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*trace.Trace{}
+)
+
+// PaperTrace returns the named application's paper-configuration trace,
+// generating it on first use and caching it for the life of the
+// process. The returned trace is shared: callers must not mutate it.
+func PaperTrace(name string) (*trace.Trace, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if tr, ok := cache[name]; ok {
+		return tr, nil
+	}
+	tr, err := Generate(name, PaperConfig(), PaperSteps)
+	if err != nil {
+		return nil, err
+	}
+	cache[name] = tr
+	return tr, nil
+}
+
+// QuickTrace returns a reduced-scale trace (16x16 base, 3 levels, 20
+// steps) of the named application, cached like PaperTrace. Tests and
+// examples use it to keep runtimes low.
+func QuickTrace(name string) (*trace.Trace, error) {
+	key := "quick/" + name
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if tr, ok := cache[key]; ok {
+		return tr, nil
+	}
+	cfg := PaperConfig()
+	cfg.BaseSize = 16
+	cfg.MaxLevels = 3
+	tr, err := Generate(name, cfg, 20)
+	if err != nil {
+		return nil, err
+	}
+	cache[key] = tr
+	return tr, nil
+}

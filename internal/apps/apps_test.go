@@ -1,0 +1,75 @@
+package apps
+
+import (
+	"testing"
+)
+
+func TestKernelLookup(t *testing.T) {
+	for _, n := range Names {
+		k, err := Kernel(n)
+		if err != nil {
+			t.Fatalf("Kernel(%s): %v", n, err)
+		}
+		if k.Name() != n {
+			t.Errorf("Kernel(%s).Name() = %s", n, k.Name())
+		}
+	}
+	if _, err := Kernel("NOPE"); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}
+
+func TestPaperConfigMatchesPaper(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.MaxLevels != 5 {
+		t.Errorf("MaxLevels = %d, want 5 (paper: 5 levels)", cfg.MaxLevels)
+	}
+	if cfg.RefRatio != 2 {
+		t.Errorf("RefRatio = %d, want 2 (factor 2 refinement)", cfg.RefRatio)
+	}
+	if cfg.RegridEvery != 4 {
+		t.Errorf("RegridEvery = %d, want 4 (regrid every 4 steps)", cfg.RegridEvery)
+	}
+	if cfg.Cluster.MinWidth != 2 {
+		t.Errorf("MinWidth = %d, want 2 (granularity 2)", cfg.Cluster.MinWidth)
+	}
+	if PaperSteps != 100 {
+		t.Errorf("PaperSteps = %d, want 100", PaperSteps)
+	}
+}
+
+func TestQuickTraceAllApps(t *testing.T) {
+	for _, n := range Names {
+		n := n
+		t.Run(n, func(t *testing.T) {
+			t.Parallel()
+			tr, err := QuickTrace(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() != 21 {
+				t.Errorf("trace length = %d, want 21", tr.Len())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.App != n {
+				t.Errorf("App = %s", tr.App)
+			}
+		})
+	}
+}
+
+func TestQuickTraceCached(t *testing.T) {
+	a, err := QuickTrace("TP2D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := QuickTrace("TP2D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("QuickTrace should return the cached instance")
+	}
+}

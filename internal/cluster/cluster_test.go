@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"samr/internal/geom"
+)
+
+func domain() geom.Box { return geom.NewBox2(0, 0, 64, 64) }
+
+// coverAll verifies every tagged cell is inside some patch.
+func coverAll(t *testing.T, tags *TagField, patches geom.BoxList) {
+	t.Helper()
+	for p := range tags.cells {
+		if !patches.ContainsPoint(p) {
+			t.Fatalf("tagged cell %v not covered by %v", p, patches)
+		}
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	if got := Cluster(NewTagField(), domain(), DefaultOptions()); got != nil {
+		t.Errorf("empty tags should give nil, got %v", got)
+	}
+}
+
+func TestClusterSingleBlock(t *testing.T) {
+	tags := NewTagField()
+	geom.NewBox2(10, 10, 14, 14).Cells(func(p geom.IntVect) { tags.Set(p) })
+	patches := Cluster(tags, domain(), DefaultOptions())
+	if len(patches) != 1 {
+		t.Fatalf("dense block should cluster to one patch, got %v", patches)
+	}
+	if patches[0] != geom.NewBox2(10, 10, 14, 14) {
+		t.Errorf("patch = %v, want exact bounding box", patches[0])
+	}
+	coverAll(t, tags, patches)
+}
+
+func TestClusterTwoSeparatedBlobs(t *testing.T) {
+	tags := NewTagField()
+	geom.NewBox2(2, 2, 6, 6).Cells(func(p geom.IntVect) { tags.Set(p) })
+	geom.NewBox2(40, 40, 44, 45).Cells(func(p geom.IntVect) { tags.Set(p) })
+	patches := Cluster(tags, domain(), DefaultOptions())
+	if len(patches) != 2 {
+		t.Fatalf("two blobs should give two patches, got %v", patches)
+	}
+	coverAll(t, tags, patches)
+	if eff := Efficiency(tags, patches); eff < 0.99 {
+		t.Errorf("separated dense blobs should cluster perfectly, eff=%f", eff)
+	}
+}
+
+func TestClusterLShape(t *testing.T) {
+	// An L of tags cannot be covered efficiently by one box; the
+	// algorithm must split at the inner corner.
+	tags := NewTagField()
+	geom.NewBox2(0, 0, 20, 4).Cells(func(p geom.IntVect) { tags.Set(p) })
+	geom.NewBox2(0, 4, 4, 20).Cells(func(p geom.IntVect) { tags.Set(p) })
+	patches := Cluster(tags, domain(), DefaultOptions())
+	coverAll(t, tags, patches)
+	if eff := Efficiency(tags, MakeDisjoint(patches)); eff < 0.7 {
+		t.Errorf("L-shape efficiency = %f, want >= 0.7", eff)
+	}
+	if len(patches) < 2 {
+		t.Errorf("L-shape should split, got %d patches", len(patches))
+	}
+}
+
+func TestClusterEfficiencyThreshold(t *testing.T) {
+	// A sparse diagonal forces many splits to reach the threshold.
+	tags := NewTagField()
+	for i := 0; i < 32; i++ {
+		tags.Set(geom.IV2(i, i))
+	}
+	opts := DefaultOptions()
+	patches := MakeDisjoint(Cluster(tags, domain(), opts))
+	coverAll(t, tags, patches)
+	// Min width 2 caps achievable efficiency at 0.5 for single cells.
+	if eff := Efficiency(tags, patches); eff < 0.2 {
+		t.Errorf("diagonal efficiency = %f too low", eff)
+	}
+}
+
+func TestClusterMinWidth(t *testing.T) {
+	tags := NewTagField()
+	tags.Set(geom.IV2(5, 5)) // single tag
+	patches := Cluster(tags, domain(), DefaultOptions())
+	if len(patches) != 1 {
+		t.Fatalf("patches = %v", patches)
+	}
+	if patches[0].Size(0) < 2 || patches[0].Size(1) < 2 {
+		t.Errorf("patch %v violates min width 2", patches[0])
+	}
+	coverAll(t, tags, patches)
+}
+
+func TestClusterMinWidthAtDomainCorner(t *testing.T) {
+	tags := NewTagField()
+	tags.Set(geom.IV2(63, 63)) // domain corner: growth must go inward
+	patches := Cluster(tags, domain(), DefaultOptions())
+	if len(patches) != 1 {
+		t.Fatalf("patches = %v", patches)
+	}
+	p := patches[0]
+	if !domain().ContainsBox(p) {
+		t.Errorf("patch %v escapes domain", p)
+	}
+	if p.Size(0) < 2 || p.Size(1) < 2 {
+		t.Errorf("patch %v violates min width", p)
+	}
+}
+
+func TestClusterStaysInDomain(t *testing.T) {
+	tags := NewTagField()
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		tags.Set(geom.IV2(r.Intn(64), r.Intn(64)))
+	}
+	patches := Cluster(tags, domain(), DefaultOptions())
+	for _, p := range patches {
+		if !domain().ContainsBox(p) {
+			t.Errorf("patch %v escapes domain", p)
+		}
+	}
+	coverAll(t, tags, patches)
+}
+
+func TestClusterMaxWidth(t *testing.T) {
+	tags := NewTagField()
+	geom.NewBox2(0, 0, 40, 40).Cells(func(p geom.IntVect) { tags.Set(p) })
+	opts := DefaultOptions()
+	opts.MaxWidth = 16
+	patches := Cluster(tags, domain(), opts)
+	for _, p := range patches {
+		if p.Size(0) > 16+1 || p.Size(1) > 16+1 {
+			t.Errorf("patch %v exceeds MaxWidth", p)
+		}
+	}
+	coverAll(t, tags, patches)
+}
+
+func TestMakeDisjoint(t *testing.T) {
+	bl := geom.BoxList{
+		geom.NewBox2(0, 0, 4, 4),
+		geom.NewBox2(2, 2, 6, 6),
+		geom.NewBox2(2, 2, 6, 6), // duplicate
+	}
+	dj := MakeDisjoint(bl)
+	if !dj.Disjoint() {
+		t.Fatalf("MakeDisjoint produced overlaps: %v", dj)
+	}
+	// Covered region: union volume = 16 + 16 - 4 = 28.
+	if dj.TotalVolume() != 28 {
+		t.Errorf("disjoint volume = %d, want 28", dj.TotalVolume())
+	}
+}
+
+func TestClusterDisjointOutputAfterMakeDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		tags := NewTagField()
+		// Random blobs.
+		for blob := 0; blob < 4; blob++ {
+			cx, cy := r.Intn(56), r.Intn(56)
+			geom.NewBox2(cx, cy, cx+2+r.Intn(6), cy+2+r.Intn(6)).
+				Cells(func(p geom.IntVect) { tags.Set(p) })
+		}
+		patches := MakeDisjoint(Cluster(tags, domain(), DefaultOptions()))
+		if !patches.Disjoint() {
+			t.Fatalf("trial %d: overlapping patches %v", trial, patches)
+		}
+		coverAll(t, tags, patches)
+	}
+}
+
+func TestSignatureHoleSplitPreferred(t *testing.T) {
+	// Two rows of tags separated by an empty band: the split must land
+	// in the band, giving exactly two perfectly efficient patches.
+	tags := NewTagField()
+	geom.NewBox2(0, 0, 16, 3).Cells(func(p geom.IntVect) { tags.Set(p) })
+	geom.NewBox2(0, 13, 16, 16).Cells(func(p geom.IntVect) { tags.Set(p) })
+	patches := Cluster(tags, domain(), DefaultOptions())
+	if len(patches) != 2 {
+		t.Fatalf("want 2 patches, got %v", patches)
+	}
+	if eff := Efficiency(tags, patches); eff < 0.99 {
+		t.Errorf("hole split should be perfect, eff=%f", eff)
+	}
+}
+
+func BenchmarkClusterRandomTags(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tags := NewTagField()
+	for i := 0; i < 500; i++ {
+		tags.Set(geom.IV2(r.Intn(128), r.Intn(128)))
+	}
+	dom := geom.NewBox2(0, 0, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(tags, dom, DefaultOptions())
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"samr/internal/grid"
+)
+
+// Octant is a cell of the discrete octant classification space the
+// paper's section 3 describes and argues against (Figure 3, left): each
+// of the three prior-work axes is binarized. It is implemented here as
+// the baseline the continuous partitioner-centric space is compared
+// with.
+type Octant struct {
+	// CommunicationDominated is axis "computation dominated -
+	// communication dominated".
+	CommunicationDominated bool
+	// Scattered is axis "localized - scattered" (the refinement
+	// pattern).
+	Scattered bool
+	// HighActivity is axis "activity dynamics" (how fast the solution
+	// changes).
+	HighActivity bool
+}
+
+// Index returns the octant number in [0, 8).
+func (o Octant) Index() int {
+	i := 0
+	if o.CommunicationDominated {
+		i |= 1
+	}
+	if o.Scattered {
+		i |= 2
+	}
+	if o.HighActivity {
+		i |= 4
+	}
+	return i
+}
+
+func (o Octant) String() string {
+	s := "comp"
+	if o.CommunicationDominated {
+		s = "comm"
+	}
+	if o.Scattered {
+		s += "/scattered"
+	} else {
+		s += "/localized"
+	}
+	if o.HighActivity {
+		s += "/dynamic"
+	} else {
+		s += "/static"
+	}
+	return fmt.Sprintf("octant %d (%s)", o.Index(), s)
+}
+
+// OctantClassifier is the ArMADA-style baseline: a discrete, relative
+// classification using simple box operations (volume-to-surface ratios
+// and inter-step change), carried along for comparison with the
+// continuous classifier. The paper's critique (section 3) applies: its
+// transitions are discontinuous, and the time-domination axis entangles
+// the partitioner with the application state.
+type OctantClassifier struct {
+	prev *grid.Hierarchy
+}
+
+// NewOctantClassifier returns the discrete baseline classifier.
+func NewOctantClassifier() *OctantClassifier { return &OctantClassifier{} }
+
+// Classify maps the hierarchy onto an octant. The thresholds follow the
+// ArMADA spirit: communication domination from the surface-to-volume
+// ratio of the refined patches, scatter from the refined-region count,
+// and activity from the relative change against the previous snapshot.
+func (c *OctantClassifier) Classify(h *grid.Hierarchy) Octant {
+	var o Octant
+
+	// Volume-to-surface: fine-level patches with high surface relative
+	// to volume indicate communication-heavy configurations.
+	var surf, vol int64
+	for l := 1; l < len(h.Levels); l++ {
+		surf += h.Levels[l].Boxes.TotalSurface()
+		vol += h.Levels[l].NumPoints()
+	}
+	if vol > 0 && float64(surf)/float64(vol) > 0.5 {
+		o.CommunicationDominated = true
+	}
+
+	// Scatter: many disjoint refined patches on level 1.
+	if len(h.Levels) > 1 && len(h.Levels[1].Boxes) >= 4 {
+		o.Scattered = true
+	}
+
+	// Activity: relative hierarchy change since the previous call.
+	if c.prev != nil {
+		if MigrationPenalty(c.prev, h) > 0.1 {
+			o.HighActivity = true
+		}
+	}
+	c.prev = h.Clone()
+	return o
+}
+
+// Reset clears the classifier's running state.
+func (c *OctantClassifier) Reset() { c.prev = nil }

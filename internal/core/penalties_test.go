@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"samr/internal/geom"
+	"samr/internal/grid"
+)
+
+func baseHierarchy() *grid.Hierarchy {
+	return grid.NewHierarchy(geom.NewBox2(0, 0, 32, 32), 2)
+}
+
+func refined(l1 geom.Box) *grid.Hierarchy {
+	h := baseHierarchy()
+	h.Levels = append(h.Levels, grid.Level{Boxes: geom.BoxList{l1}})
+	return h
+}
+
+func TestMigrationPenaltyIdenticalIsZero(t *testing.T) {
+	h := refined(geom.NewBox2(8, 8, 24, 24))
+	if p := MigrationPenalty(h, h.Clone()); p != 0 {
+		t.Errorf("identical hierarchies: beta_m = %f, want 0", p)
+	}
+}
+
+func TestMigrationPenaltyDisjointRefinement(t *testing.T) {
+	a := refined(geom.NewBox2(0, 0, 16, 16))
+	b := refined(geom.NewBox2(40, 40, 56, 56))
+	// Base level fully overlaps (1024 pts); level 1 not at all (256 pts
+	// each). |H_t| = 1280, overlap = 1024 -> beta_m = 1 - 1024/1280 = 0.2.
+	if p := MigrationPenalty(a, b); p < 0.199 || p > 0.201 {
+		t.Errorf("beta_m = %f, want 0.2", p)
+	}
+}
+
+func TestMigrationPenaltyPartialShift(t *testing.T) {
+	a := refined(geom.NewBox2(8, 8, 24, 24))
+	b := refined(geom.NewBox2(16, 8, 32, 24))
+	// Level-1 overlap = 8x16 = 128 of 256; total overlap = 1024 + 128,
+	// |H_t| = 1280 -> beta_m = 1 - 1152/1280 = 0.1.
+	if p := MigrationPenalty(a, b); p < 0.099 || p > 0.101 {
+		t.Errorf("beta_m = %f, want 0.1", p)
+	}
+}
+
+func TestMigrationPenaltyRange(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	prev := refined(geom.NewBox2(0, 0, 16, 16))
+	for i := 0; i < 50; i++ {
+		x, y := r.Intn(48), r.Intn(48)
+		cur := refined(geom.NewBox2(x, y, x+16, y+16))
+		p := MigrationPenalty(prev, cur)
+		if p < 0 || p > 1 {
+			t.Fatalf("beta_m = %f out of range", p)
+		}
+		prev = cur
+	}
+}
+
+func TestMigrationPenaltyDenominators(t *testing.T) {
+	// Growing grid: |H_{t-1}| < |H_t|.
+	small := refined(geom.NewBox2(8, 8, 16, 16)) // 1024 + 64
+	big := refined(geom.NewBox2(8, 8, 32, 32))   // 1024 + 576; overlap 1024+64
+	pc := MigrationPenaltyWith(small, big, DenomCurrent)
+	pp := MigrationPenaltyWith(small, big, DenomPrevious)
+	pm := MigrationPenaltyWith(small, big, DenomMax)
+	// overlap = 1088; |H_t| = 1600, |H_{t-1}| = 1088.
+	if pc <= 0 || pc >= 1 {
+		t.Errorf("DenomCurrent = %f", pc)
+	}
+	if pp != 0 {
+		t.Errorf("DenomPrevious on pure growth should be 0 (everything overlaps), got %f", pp)
+	}
+	if pm != pc {
+		t.Errorf("DenomMax should equal DenomCurrent for growth: %f vs %f", pm, pc)
+	}
+	// The paper's argument: growth should register as migration need
+	// (the new large grid pulls data); DenomCurrent does, DenomPrevious
+	// does not.
+	if !(pc > pp) {
+		t.Errorf("DenomCurrent (%f) should exceed DenomPrevious (%f) on growth", pc, pp)
+	}
+}
+
+func TestCommunicationPenaltyFlatGrid(t *testing.T) {
+	// A flat base grid at granularity 2 is all boundary in the worst
+	// case: every 2x2 unit's ring covers the whole unit, so beta_c
+	// saturates at 1 — any distribution of atomic units could involve
+	// every point.
+	h := baseHierarchy()
+	if p := CommunicationPenalty(h); p != 1 {
+		t.Errorf("beta_c = %f, want 1 (saturated worst case)", p)
+	}
+}
+
+func TestCommunicationPenaltyDeclinesWithDeepBulk(t *testing.T) {
+	// Large fine-level regions have proportionally less worst-case
+	// boundary (units span 2*2^l cells), so a hierarchy whose workload
+	// is dominated by a big deep level has lower beta_c than a shallow
+	// one.
+	shallow := baseHierarchy()
+	deep := baseHierarchy()
+	deep.Levels = append(deep.Levels,
+		grid.Level{Boxes: geom.BoxList{geom.NewBox2(0, 0, 64, 64)}},
+		grid.Level{Boxes: geom.BoxList{geom.NewBox2(0, 0, 128, 128)}},
+		grid.Level{Boxes: geom.BoxList{geom.NewBox2(0, 0, 256, 256)}},
+	)
+	if CommunicationPenalty(deep) >= CommunicationPenalty(shallow) {
+		t.Errorf("bulk-refined beta_c (%f) should be below shallow (%f)",
+			CommunicationPenalty(deep), CommunicationPenalty(shallow))
+	}
+}
+
+func TestCommunicationPenaltyIgnoresPatchShape(t *testing.T) {
+	// The worst-case model is deliberately shape-blind (the adversarial
+	// distribution cuts unit boundaries regardless of patch layout):
+	// re-tiling the same region must not change beta_c.
+	deepen := func(l1 geom.BoxList) *grid.Hierarchy {
+		h := baseHierarchy()
+		h.Levels = append(h.Levels, grid.Level{Boxes: l1})
+		return h
+	}
+	one := deepen(geom.BoxList{geom.NewBox2(0, 0, 32, 32)})
+	var many geom.BoxList
+	for y := 0; y < 32; y += 8 {
+		for x := 0; x < 32; x += 8 {
+			many = append(many, geom.NewBox2(x, y, x+8, y+8))
+		}
+	}
+	frag := deepen(many)
+	if CommunicationPenalty(frag) != CommunicationPenalty(one) {
+		t.Errorf("beta_c should be tiling-invariant: %f vs %f",
+			CommunicationPenalty(frag), CommunicationPenalty(one))
+	}
+}
+
+func TestCommunicationPenaltyClosedForm(t *testing.T) {
+	// beta_c = clamp((8/g) * |H| / W).
+	h := refined(geom.NewBox2(0, 0, 32, 32)) // |H| = 1024+1024, W = 1024+2048
+	want := 8.0 / 2.0 * 2048.0 / 3072.0
+	if want > 1 {
+		want = 1
+	}
+	if p := CommunicationPenalty(h); p != want {
+		t.Errorf("beta_c = %f, want %f", p, want)
+	}
+}
+
+func TestLoadPenaltyUniformIsZero(t *testing.T) {
+	h := baseHierarchy()
+	if p := LoadPenalty(h); p > 1e-9 {
+		t.Errorf("uniform grid beta_l = %f, want 0", p)
+	}
+}
+
+func TestLoadPenaltyConcentrationRaisesIt(t *testing.T) {
+	// A deep, localized refinement stack concentrates work.
+	localized := baseHierarchy()
+	localized.Levels = append(localized.Levels,
+		grid.Level{Boxes: geom.BoxList{geom.NewBox2(0, 0, 8, 8)}},
+		grid.Level{Boxes: geom.BoxList{geom.NewBox2(0, 0, 12, 12)}},
+		grid.Level{Boxes: geom.BoxList{geom.NewBox2(0, 0, 16, 16)}},
+	)
+	// The same refinement spread across the domain in four corners.
+	scattered := baseHierarchy()
+	scattered.Levels = append(scattered.Levels, grid.Level{Boxes: geom.BoxList{
+		geom.NewBox2(0, 0, 4, 4), geom.NewBox2(56, 0, 60, 4),
+		geom.NewBox2(0, 56, 4, 60), geom.NewBox2(56, 56, 60, 60),
+	}})
+	pl, ps := LoadPenalty(localized), LoadPenalty(scattered)
+	if pl <= ps {
+		t.Errorf("localized beta_l (%f) should exceed scattered (%f)", pl, ps)
+	}
+	if pl < 0.3 {
+		t.Errorf("deep localized stack beta_l = %f, expected substantial", pl)
+	}
+}
+
+func TestPenaltiesAreAbInitio(t *testing.T) {
+	// Penalties must depend only on hierarchies: same hierarchy, same
+	// value, no hidden state.
+	h := refined(geom.NewBox2(4, 4, 20, 24))
+	if CommunicationPenalty(h) != CommunicationPenalty(h.Clone()) {
+		t.Error("beta_c not a pure function")
+	}
+	if LoadPenalty(h) != LoadPenalty(h.Clone()) {
+		t.Error("beta_l not a pure function")
+	}
+}
+
+func TestPenaltyRangesRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		x, y := r.Intn(40), r.Intn(40)
+		h := refined(geom.NewBox2(x, y, x+2+r.Intn(20), y+2+r.Intn(20)))
+		for name, p := range map[string]float64{
+			"beta_c": CommunicationPenalty(h),
+			"beta_l": LoadPenalty(h),
+		} {
+			if p < 0 || p > 1 {
+				t.Fatalf("%s = %f out of [0,1]", name, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"time"
+
+	"samr/internal/grid"
+	"samr/internal/partition"
+)
+
+// MeasurePartitionCost times one partitioner on a hierarchy: the
+// measured quantity the paper proposes feeding trade-off 2 ("the
+// partitioner when invoked calls a timer to determine the invocation
+// intervals"). It returns the wall-clock seconds of a single Partition
+// call, averaged over reps invocations (at least one).
+func MeasurePartitionCost(p partition.Partitioner, h *grid.Hierarchy, nprocs, reps int) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		p.Partition(h, nprocs)
+	}
+	return time.Since(start).Seconds() / float64(reps)
+}
+
+// CalibratePartitionCost measures the meta-partitioner's whole stable
+// on a representative hierarchy and returns the worst (most expensive)
+// per-invocation cost — a conservative seed for the dimension-II model.
+func CalibratePartitionCost(m *MetaPartitioner, h *grid.Hierarchy, nprocs int) float64 {
+	worst := 0.0
+	for _, p := range m.Stable() {
+		if c := MeasurePartitionCost(p, h, nprocs, 1); c > worst {
+			worst = c
+		}
+	}
+	return worst
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"samr/internal/geom"
+)
+
+func TestMeasurePartitionCostPositive(t *testing.T) {
+	h := refined(geom.NewBox2(8, 8, 24, 24))
+	m := NewMetaPartitioner(0)
+	for _, p := range m.Stable() {
+		c := MeasurePartitionCost(p, h, 8, 2)
+		if c <= 0 {
+			t.Errorf("%s: cost %f not positive", p.Name(), c)
+		}
+		if c > 1 {
+			t.Errorf("%s: cost %f implausibly large for a toy hierarchy", p.Name(), c)
+		}
+	}
+}
+
+func TestMeasurePartitionCostRepsClamped(t *testing.T) {
+	h := refined(geom.NewBox2(8, 8, 24, 24))
+	m := NewMetaPartitioner(0)
+	if c := MeasurePartitionCost(m.Stable()[0], h, 4, 0); c <= 0 {
+		t.Errorf("reps=0 should clamp to 1, got cost %f", c)
+	}
+}
+
+func TestCalibratePartitionCost(t *testing.T) {
+	h := refined(geom.NewBox2(8, 8, 24, 24))
+	m := NewMetaPartitioner(0)
+	worst := CalibratePartitionCost(m, h, 8)
+	if worst <= 0 {
+		t.Fatalf("calibrated cost %f", worst)
+	}
+	// The calibrated value is the max over the stable.
+	for _, p := range m.Stable() {
+		// One-shot timing is noisy; just ensure the same order of
+		// magnitude rather than a strict bound.
+		c := MeasurePartitionCost(p, h, 8, 1)
+		if c > worst*50 {
+			t.Errorf("%s: cost %g wildly exceeds calibration %g", p.Name(), c, worst)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package field provides per-patch cell-centred solution storage for the
+// AMR solver substrate: patch arrays with ghost halos, same-level ghost
+// exchange, coarse-to-fine prolongation and fine-to-coarse restriction,
+// and physical boundary fills. Everything is 2-D, matching the paper's
+// evaluation suite.
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"samr/internal/geom"
+)
+
+// Patch is solution data on one grid patch: NComp components over the
+// patch interior plus a ghost halo of width Ghost on every side.
+type Patch struct {
+	// Box is the interior region (no ghosts), in the owning level's
+	// index space.
+	Box geom.Box
+	// Ghost is the halo width in cells.
+	Ghost int
+	// NComp is the number of solution components.
+	NComp int
+
+	grown  geom.Box // Box.Grow(Ghost), cached
+	nx, ny int      // grown extents
+	data   []float64
+}
+
+// NewPatch allocates zeroed storage for box with the given halo width
+// and component count.
+func NewPatch(box geom.Box, ghost, ncomp int) *Patch {
+	g := box.Grow(ghost)
+	p := &Patch{
+		Box:   box,
+		Ghost: ghost,
+		NComp: ncomp,
+		grown: g,
+		nx:    g.Size(0),
+		ny:    g.Size(1),
+	}
+	p.data = make([]float64, p.nx*p.ny*ncomp)
+	return p
+}
+
+// GrownBox returns the interior plus halo region.
+func (p *Patch) GrownBox() geom.Box { return p.grown }
+
+// index returns the flat offset of (c, x, y); x and y are absolute
+// level-space coordinates that must lie inside the grown box.
+func (p *Patch) index(c, x, y int) int {
+	return (c*p.ny+(y-p.grown.Lo[1]))*p.nx + (x - p.grown.Lo[0])
+}
+
+// At returns component c at cell (x, y).
+func (p *Patch) At(c, x, y int) float64 { return p.data[p.index(c, x, y)] }
+
+// Set stores component c at cell (x, y).
+func (p *Patch) Set(c, x, y int, v float64) { p.data[p.index(c, x, y)] = v }
+
+// Add accumulates into component c at cell (x, y).
+func (p *Patch) Add(c, x, y int, v float64) { p.data[p.index(c, x, y)] += v }
+
+// Fill sets every cell (including ghosts) of component c to v.
+func (p *Patch) Fill(c int, v float64) {
+	base := c * p.ny * p.nx
+	for i := 0; i < p.nx*p.ny; i++ {
+		p.data[base+i] = v
+	}
+}
+
+// Clone returns a deep copy of the patch.
+func (p *Patch) Clone() *Patch {
+	q := *p
+	q.data = make([]float64, len(p.data))
+	copy(q.data, p.data)
+	return &q
+}
+
+// CopyRegion copies all components over the cells of region (which must
+// lie inside both patches' grown boxes) from src to p. Coordinates are
+// shared level space.
+func (p *Patch) CopyRegion(src *Patch, region geom.Box) {
+	region = region.Intersect(p.grown).Intersect(src.grown)
+	if region.Empty() {
+		return
+	}
+	for c := 0; c < p.NComp; c++ {
+		for y := region.Lo[1]; y < region.Hi[1]; y++ {
+			di := p.index(c, region.Lo[0], y)
+			si := src.index(c, region.Lo[0], y)
+			copy(p.data[di:di+region.Size(0)], src.data[si:si+region.Size(0)])
+		}
+	}
+}
+
+// MaxAbs returns the maximum absolute value of component c over the
+// interior.
+func (p *Patch) MaxAbs(c int) float64 {
+	var m float64
+	p.Box.Cells(func(q geom.IntVect) {
+		v := p.At(c, q[0], q[1])
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	})
+	return m
+}
+
+// SumInterior returns the sum of component c over the interior; used by
+// conservation tests.
+func (p *Patch) SumInterior(c int) float64 {
+	var s float64
+	p.Box.Cells(func(q geom.IntVect) { s += p.At(c, q[0], q[1]) })
+	return s
+}
+
+func (p *Patch) String() string {
+	return fmt.Sprintf("Patch{%v ghost=%d ncomp=%d}", p.Box, p.Ghost, p.NComp)
+}
+
+// BC selects the physical boundary treatment at the domain edge.
+type BC int
+
+const (
+	// BCPeriodic wraps the domain torus-fashion.
+	BCPeriodic BC = iota
+	// BCOutflow copies the nearest interior value outward
+	// (zero-gradient / transmissive).
+	BCOutflow
+	// BCReflect mirrors interior values across the wall.
+	BCReflect
+)
+
+// ExchangeGhosts fills ghost cells of every patch in patches from the
+// interiors of sibling patches on the same level. Cells not covered by a
+// sibling are left untouched (they are later filled by prolongation or
+// physical BC).
+func ExchangeGhosts(patches []*Patch) {
+	for _, dst := range patches {
+		halo := dst.GrownBox()
+		for _, src := range patches {
+			if src == dst {
+				continue
+			}
+			ov := halo.Intersect(src.Box)
+			if !ov.Empty() {
+				dst.CopyRegion(src, ov)
+			}
+		}
+	}
+}
+
+// FillPhysical fills the portion of dst's halo that lies outside domain
+// according to bc. For periodic boundaries, patches must collectively
+// cover the domain for the wrap copy to find a source.
+func FillPhysical(dst *Patch, patches []*Patch, domain geom.Box, bc BC) {
+	halo := dst.GrownBox()
+	outside := geom.BoxList{halo}.SubtractBox(domain)
+	if len(outside) == 0 {
+		return
+	}
+	switch bc {
+	case BCPeriodic:
+		nx, ny := domain.Size(0), domain.Size(1)
+		for _, ob := range outside {
+			ob.Cells(func(q geom.IntVect) {
+				sx := mod(q[0]-domain.Lo[0], nx) + domain.Lo[0]
+				sy := mod(q[1]-domain.Lo[1], ny) + domain.Lo[1]
+				copyCell(dst, patches, q[0], q[1], sx, sy)
+			})
+		}
+	case BCOutflow:
+		for _, ob := range outside {
+			ob.Cells(func(q geom.IntVect) {
+				sx := clamp(q[0], domain.Lo[0], domain.Hi[0]-1)
+				sy := clamp(q[1], domain.Lo[1], domain.Hi[1]-1)
+				copyCell(dst, patches, q[0], q[1], sx, sy)
+			})
+		}
+	case BCReflect:
+		for _, ob := range outside {
+			ob.Cells(func(q geom.IntVect) {
+				sx := reflect(q[0], domain.Lo[0], domain.Hi[0])
+				sy := reflect(q[1], domain.Lo[1], domain.Hi[1])
+				copyCell(dst, patches, q[0], q[1], sx, sy)
+			})
+		}
+	}
+}
+
+// copyCell copies all components of source cell (sx, sy) — found in dst
+// itself or any sibling patch — into dst cell (x, y).
+func copyCell(dst *Patch, patches []*Patch, x, y, sx, sy int) {
+	src := dst
+	p := geom.IV2(sx, sy)
+	if !dst.Box.Contains(p) {
+		for _, q := range patches {
+			if q.Box.Contains(p) {
+				src = q
+				break
+			}
+		}
+	}
+	if !src.GrownBox().Contains(p) {
+		return
+	}
+	for c := 0; c < dst.NComp; c++ {
+		dst.Set(c, x, y, src.At(c, sx, sy))
+	}
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// reflect mirrors index v into [lo, hi) across the nearest wall.
+func reflect(v, lo, hi int) int {
+	if v < lo {
+		return clamp(2*lo-1-v, lo, hi-1)
+	}
+	if v >= hi {
+		return clamp(2*hi-1-v, lo, hi-1)
+	}
+	return v
+}
+
+// Prolong fills the cells of region (fine index space) in fine by
+// piecewise-constant injection from the coarse patch, which must cover
+// region coarsened by ratio (including via its ghost halo).
+func Prolong(fine *Patch, coarse *Patch, region geom.Box, ratio int) {
+	region = region.Intersect(fine.GrownBox())
+	if region.Empty() {
+		return
+	}
+	for c := 0; c < fine.NComp; c++ {
+		region.Cells(func(q geom.IntVect) {
+			cx, cy := floorDiv(q[0], ratio), floorDiv(q[1], ratio)
+			if coarse.GrownBox().Contains(geom.IV2(cx, cy)) {
+				fine.Set(c, q[0], q[1], coarse.At(c, cx, cy))
+			}
+		})
+	}
+}
+
+// ProlongLinear fills the cells of region (fine index space) in fine by
+// bilinear interpolation from coarse cell centres. Smoother than
+// piecewise-constant Prolong: it avoids the staircase ghosts that
+// second-order stencils amplify into spurious refinement. Cells whose
+// interpolation stencil leaves the coarse patch's grown box fall back to
+// the nearest covered neighbour; cells with no coverage at all are left
+// untouched.
+func ProlongLinear(fine *Patch, coarse *Patch, region geom.Box, ratio int) {
+	region = region.Intersect(fine.GrownBox())
+	if region.Empty() {
+		return
+	}
+	cg := coarse.GrownBox()
+	r := float64(ratio)
+	region.Cells(func(q geom.IntVect) {
+		// Coarse-space coordinates of the fine cell centre.
+		xc := (float64(q[0]) + 0.5) / r
+		yc := (float64(q[1]) + 0.5) / r
+		// Surrounding coarse cell centres: i0+0.5 <= xc < i0+1.5.
+		i0 := int(math.Floor(xc - 0.5))
+		j0 := int(math.Floor(yc - 0.5))
+		tx := xc - (float64(i0) + 0.5)
+		ty := yc - (float64(j0) + 0.5)
+		i1, j1 := i0+1, j0+1
+		// Clamp the stencil into the coarse grown box.
+		if i0 < cg.Lo[0] {
+			i0 = cg.Lo[0]
+		}
+		if j0 < cg.Lo[1] {
+			j0 = cg.Lo[1]
+		}
+		if i1 > cg.Hi[0]-1 {
+			i1 = cg.Hi[0] - 1
+		}
+		if j1 > cg.Hi[1]-1 {
+			j1 = cg.Hi[1] - 1
+		}
+		if i0 > i1 || j0 > j1 || i0 < cg.Lo[0] || j0 < cg.Lo[1] {
+			return // no coverage
+		}
+		for c := 0; c < fine.NComp; c++ {
+			v00 := coarse.At(c, i0, j0)
+			v10 := coarse.At(c, i1, j0)
+			v01 := coarse.At(c, i0, j1)
+			v11 := coarse.At(c, i1, j1)
+			v := (1-tx)*(1-ty)*v00 + tx*(1-ty)*v10 + (1-tx)*ty*v01 + tx*ty*v11
+			fine.Set(c, q[0], q[1], v)
+		}
+	})
+}
+
+// Restrict conservatively averages the fine patch's interior down onto
+// the overlapping cells of the coarse patch.
+func Restrict(coarse *Patch, fine *Patch, ratio int) {
+	fineOnCoarse := fine.Box.Coarsen(ratio).Intersect(coarse.Box)
+	if fineOnCoarse.Empty() {
+		return
+	}
+	inv := 1.0 / float64(ratio*ratio)
+	for c := 0; c < coarse.NComp; c++ {
+		fineOnCoarse.Cells(func(q geom.IntVect) {
+			var sum float64
+			n := 0
+			for dy := 0; dy < ratio; dy++ {
+				for dx := 0; dx < ratio; dx++ {
+					fx, fy := q[0]*ratio+dx, q[1]*ratio+dy
+					if fine.Box.Contains(geom.IV2(fx, fy)) {
+						sum += fine.At(c, fx, fy)
+						n++
+					}
+				}
+			}
+			if n == ratio*ratio {
+				coarse.Set(c, q[0], q[1], sum*inv)
+			}
+		})
+	}
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

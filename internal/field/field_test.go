@@ -1,0 +1,188 @@
+package field
+
+import (
+	"testing"
+
+	"samr/internal/geom"
+)
+
+func TestPatchIndexingAndFill(t *testing.T) {
+	p := NewPatch(geom.NewBox2(2, 3, 6, 7), 1, 2)
+	if p.GrownBox() != geom.NewBox2(1, 2, 7, 8) {
+		t.Fatalf("GrownBox = %v", p.GrownBox())
+	}
+	p.Fill(0, 1.5)
+	p.Fill(1, -2.0)
+	if p.At(0, 2, 3) != 1.5 || p.At(1, 5, 6) != -2.0 {
+		t.Error("Fill/At mismatch")
+	}
+	p.Set(0, 4, 5, 9.0)
+	if p.At(0, 4, 5) != 9.0 {
+		t.Error("Set/At mismatch")
+	}
+	p.Add(0, 4, 5, 1.0)
+	if p.At(0, 4, 5) != 10.0 {
+		t.Error("Add mismatch")
+	}
+	// Ghost cells addressable.
+	p.Set(1, 1, 2, 7.0)
+	if p.At(1, 1, 2) != 7.0 {
+		t.Error("ghost cell not addressable")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := NewPatch(geom.NewBox2(0, 0, 2, 2), 0, 1)
+	p.Set(0, 0, 0, 3.0)
+	q := p.Clone()
+	q.Set(0, 0, 0, 4.0)
+	if p.At(0, 0, 0) != 3.0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestCopyRegion(t *testing.T) {
+	src := NewPatch(geom.NewBox2(0, 0, 4, 4), 0, 1)
+	src.Box.Cells(func(q geom.IntVect) { src.Set(0, q[0], q[1], float64(q[0]*10+q[1])) })
+	dst := NewPatch(geom.NewBox2(2, 2, 6, 6), 1, 1)
+	dst.CopyRegion(src, geom.NewBox2(2, 2, 4, 4))
+	if dst.At(0, 3, 3) != 33 || dst.At(0, 2, 2) != 22 {
+		t.Errorf("CopyRegion values wrong: %f %f", dst.At(0, 3, 3), dst.At(0, 2, 2))
+	}
+	// Ghost region of dst also receivable.
+	dst.CopyRegion(src, geom.NewBox2(1, 1, 2, 2))
+	if dst.At(0, 1, 1) != 11 {
+		t.Errorf("ghost CopyRegion = %f", dst.At(0, 1, 1))
+	}
+}
+
+func TestExchangeGhosts(t *testing.T) {
+	// Two side-by-side patches; ghosts of each must pick up the
+	// neighbour's interior.
+	a := NewPatch(geom.NewBox2(0, 0, 4, 4), 1, 1)
+	b := NewPatch(geom.NewBox2(4, 0, 8, 4), 1, 1)
+	a.Fill(0, 1.0)
+	b.Fill(0, 2.0)
+	ExchangeGhosts([]*Patch{a, b})
+	if got := a.At(0, 4, 2); got != 2.0 {
+		t.Errorf("a ghost at x=4 = %f, want 2", got)
+	}
+	if got := b.At(0, 3, 2); got != 1.0 {
+		t.Errorf("b ghost at x=3 = %f, want 1", got)
+	}
+	// Corner ghost outside both stays untouched (still the Fill value).
+	if got := a.At(0, -1, -1); got != 1.0 {
+		t.Errorf("uncovered ghost changed: %f", got)
+	}
+}
+
+func TestFillPhysicalPeriodic(t *testing.T) {
+	dom := geom.NewBox2(0, 0, 8, 8)
+	a := NewPatch(geom.NewBox2(0, 0, 8, 8), 1, 1)
+	a.Box.Cells(func(q geom.IntVect) { a.Set(0, q[0], q[1], float64(q[0])) })
+	FillPhysical(a, []*Patch{a}, dom, BCPeriodic)
+	if got := a.At(0, -1, 3); got != 7 {
+		t.Errorf("periodic ghost x=-1 = %f, want 7", got)
+	}
+	if got := a.At(0, 8, 3); got != 0 {
+		t.Errorf("periodic ghost x=8 = %f, want 0", got)
+	}
+}
+
+func TestFillPhysicalOutflow(t *testing.T) {
+	dom := geom.NewBox2(0, 0, 4, 4)
+	a := NewPatch(dom, 2, 1)
+	a.Box.Cells(func(q geom.IntVect) { a.Set(0, q[0], q[1], float64(q[0]+10*q[1])) })
+	FillPhysical(a, []*Patch{a}, dom, BCOutflow)
+	if got := a.At(0, -2, 2); got != 0+10*2 {
+		t.Errorf("outflow ghost = %f", got)
+	}
+	if got := a.At(0, 5, 5); got != 3+10*3 {
+		t.Errorf("outflow corner ghost = %f", got)
+	}
+}
+
+func TestFillPhysicalReflect(t *testing.T) {
+	dom := geom.NewBox2(0, 0, 4, 4)
+	a := NewPatch(dom, 1, 1)
+	a.Box.Cells(func(q geom.IntVect) { a.Set(0, q[0], q[1], float64(q[0])) })
+	FillPhysical(a, []*Patch{a}, dom, BCReflect)
+	// Cell -1 mirrors cell 0; cell 4 mirrors cell 3.
+	if got := a.At(0, -1, 2); got != 0 {
+		t.Errorf("reflect ghost x=-1 = %f, want 0", got)
+	}
+	if got := a.At(0, 4, 2); got != 3 {
+		t.Errorf("reflect ghost x=4 = %f, want 3", got)
+	}
+}
+
+func TestProlongPiecewiseConstant(t *testing.T) {
+	coarse := NewPatch(geom.NewBox2(0, 0, 4, 4), 1, 1)
+	coarse.Box.Cells(func(q geom.IntVect) { coarse.Set(0, q[0], q[1], float64(q[0]*4+q[1])) })
+	fine := NewPatch(geom.NewBox2(2, 2, 6, 6), 0, 1)
+	Prolong(fine, coarse, fine.Box, 2)
+	// Fine cell (2,2) maps to coarse (1,1) -> value 5.
+	if got := fine.At(0, 2, 2); got != 5 {
+		t.Errorf("Prolong(2,2) = %f, want 5", got)
+	}
+	// Fine cell (5,5) maps to coarse (2,2) -> value 10.
+	if got := fine.At(0, 5, 5); got != 10 {
+		t.Errorf("Prolong(5,5) = %f, want 10", got)
+	}
+}
+
+func TestRestrictAverages(t *testing.T) {
+	fine := NewPatch(geom.NewBox2(2, 2, 6, 6), 0, 1)
+	fine.Box.Cells(func(q geom.IntVect) { fine.Set(0, q[0], q[1], 4.0) })
+	coarse := NewPatch(geom.NewBox2(0, 0, 4, 4), 0, 1)
+	coarse.Fill(0, -1)
+	Restrict(coarse, fine, 2)
+	// Coarse cells (1..2, 1..2) are fully covered: average of 4s = 4.
+	if got := coarse.At(0, 1, 1); got != 4.0 {
+		t.Errorf("Restrict covered cell = %f, want 4", got)
+	}
+	// Coarse cell (0,0) not covered: untouched.
+	if got := coarse.At(0, 0, 0); got != -1 {
+		t.Errorf("Restrict uncovered cell = %f, want -1", got)
+	}
+}
+
+func TestRestrictConservation(t *testing.T) {
+	// Sum over a fully covered coarse region must equal fine sum / r^2.
+	fine := NewPatch(geom.NewBox2(0, 0, 8, 8), 0, 1)
+	v := 0.0
+	fine.Box.Cells(func(q geom.IntVect) { v += 1; fine.Set(0, q[0], q[1], v) })
+	coarse := NewPatch(geom.NewBox2(0, 0, 4, 4), 0, 1)
+	Restrict(coarse, fine, 2)
+	fineSum := fine.SumInterior(0)
+	coarseSum := coarse.SumInterior(0)
+	if diff := fineSum/4 - coarseSum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("restriction not conservative: fine/4=%f coarse=%f", fineSum/4, coarseSum)
+	}
+}
+
+func TestProlongRestrictRoundTrip(t *testing.T) {
+	// Piecewise-constant prolongation followed by averaging restriction
+	// must reproduce the coarse data exactly.
+	coarse := NewPatch(geom.NewBox2(0, 0, 4, 4), 0, 1)
+	coarse.Box.Cells(func(q geom.IntVect) { coarse.Set(0, q[0], q[1], float64(q[0]-2*q[1])) })
+	fine := NewPatch(geom.NewBox2(0, 0, 8, 8), 0, 1)
+	Prolong(fine, coarse, fine.Box, 2)
+	got := NewPatch(geom.NewBox2(0, 0, 4, 4), 0, 1)
+	Restrict(got, fine, 2)
+	coarse.Box.Cells(func(q geom.IntVect) {
+		if got.At(0, q[0], q[1]) != coarse.At(0, q[0], q[1]) {
+			t.Fatalf("round trip differs at %v", q)
+		}
+	})
+}
+
+func TestMaxAbs(t *testing.T) {
+	p := NewPatch(geom.NewBox2(0, 0, 3, 3), 1, 1)
+	p.Set(0, 1, 1, -5)
+	p.Set(0, 2, 2, 3)
+	p.Set(0, -1, -1, 100) // ghost: must be ignored
+	if got := p.MaxAbs(0); got != 5 {
+		t.Errorf("MaxAbs = %f, want 5", got)
+	}
+}

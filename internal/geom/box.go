@@ -1,0 +1,259 @@
+package geom
+
+import "fmt"
+
+// Box is an axis-aligned integer rectangle (2-D) or cuboid (3-D) of grid
+// cells. Lo is inclusive, Hi is exclusive. Dim is the number of active
+// dimensions (2 or 3); unused components of Lo/Hi must satisfy Lo=0, Hi=1
+// so that volumes multiply out correctly.
+type Box struct {
+	Lo, Hi IntVect
+	Dim    int
+}
+
+// NewBox2 returns the 2-D box [x0,x1) x [y0,y1).
+func NewBox2(x0, y0, x1, y1 int) Box {
+	return Box{Lo: IntVect{x0, y0, 0}, Hi: IntVect{x1, y1, 1}, Dim: 2}
+}
+
+// NewBox3 returns the 3-D box [x0,x1) x [y0,y1) x [z0,z1).
+func NewBox3(x0, y0, z0, x1, y1, z1 int) Box {
+	return Box{Lo: IntVect{x0, y0, z0}, Hi: IntVect{x1, y1, z1}, Dim: 3}
+}
+
+// Empty reports whether the box contains no cells.
+func (b Box) Empty() bool {
+	if b.Dim == 0 {
+		return true
+	}
+	for d := 0; d < b.Dim; d++ {
+		if b.Hi[d] <= b.Lo[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// Volume returns the number of cells in the box (0 if empty).
+func (b Box) Volume() int64 {
+	if b.Empty() {
+		return 0
+	}
+	v := int64(1)
+	for d := 0; d < b.Dim; d++ {
+		v *= int64(b.Hi[d] - b.Lo[d])
+	}
+	return v
+}
+
+// Size returns the extent of the box along dimension d.
+func (b Box) Size(d int) int { return b.Hi[d] - b.Lo[d] }
+
+// Surface returns the number of boundary faces of the box, i.e. the count
+// of (cell, face) pairs on the box surface. For a 2-D box of size nx x ny
+// this is 2*(nx+ny); it is the ghost-exchange volume for a one-cell-wide
+// halo.
+func (b Box) Surface() int64 {
+	if b.Empty() {
+		return 0
+	}
+	var s int64
+	for d := 0; d < b.Dim; d++ {
+		face := int64(1)
+		for e := 0; e < b.Dim; e++ {
+			if e != d {
+				face *= int64(b.Hi[e] - b.Lo[e])
+			}
+		}
+		s += 2 * face
+	}
+	return s
+}
+
+// Contains reports whether cell p lies inside the box.
+func (b Box) Contains(p IntVect) bool {
+	for d := 0; d < b.Dim; d++ {
+		if p[d] < b.Lo[d] || p[d] >= b.Hi[d] {
+			return false
+		}
+	}
+	return !b.Empty()
+}
+
+// ContainsBox reports whether o is entirely inside b. An empty o is
+// contained in anything.
+func (b Box) ContainsBox(o Box) bool {
+	if o.Empty() {
+		return true
+	}
+	return o.Lo.AllGE(b.Lo, b.Dim) && o.Hi.AllLE(b.Hi, b.Dim)
+}
+
+// Intersect returns the overlap of b and o (possibly empty).
+func (b Box) Intersect(o Box) Box {
+	r := Box{Lo: b.Lo.Max(o.Lo), Hi: b.Hi.Min(o.Hi), Dim: b.Dim}
+	if r.Empty() {
+		return Box{Dim: b.Dim, Lo: r.Lo, Hi: r.Lo}
+	}
+	return r
+}
+
+// Intersects reports whether b and o share at least one cell.
+func (b Box) Intersects(o Box) bool {
+	for d := 0; d < b.Dim; d++ {
+		if b.Hi[d] <= o.Lo[d] || o.Hi[d] <= b.Lo[d] {
+			return false
+		}
+	}
+	return !b.Empty() && !o.Empty()
+}
+
+// Union returns the smallest box containing both b and o.
+func (b Box) Union(o Box) Box {
+	if b.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return b
+	}
+	return Box{Lo: b.Lo.Min(o.Lo), Hi: b.Hi.Max(o.Hi), Dim: b.Dim}
+}
+
+// Grow returns the box expanded by n cells in every direction (negative n
+// shrinks). The result may be empty for negative n.
+func (b Box) Grow(n int) Box {
+	r := b
+	for d := 0; d < b.Dim; d++ {
+		r.Lo[d] -= n
+		r.Hi[d] += n
+	}
+	return r
+}
+
+// Shift returns the box translated by v.
+func (b Box) Shift(v IntVect) Box {
+	r := b
+	for d := 0; d < b.Dim; d++ {
+		r.Lo[d] += v[d]
+		r.Hi[d] += v[d]
+	}
+	return r
+}
+
+// Refine returns the box mapped to a grid r times finer: indices scale
+// by r. Refining then coarsening is the identity.
+func (b Box) Refine(r int) Box {
+	res := b
+	for d := 0; d < b.Dim; d++ {
+		res.Lo[d] = b.Lo[d] * r
+		res.Hi[d] = b.Hi[d] * r
+	}
+	return res
+}
+
+// Coarsen returns the box mapped to a grid r times coarser, rounding
+// outward so the coarse box covers every fine cell (floor for Lo,
+// ceiling for Hi).
+func (b Box) Coarsen(r int) Box {
+	res := b
+	for d := 0; d < b.Dim; d++ {
+		res.Lo[d] = floorDiv(b.Lo[d], r)
+		res.Hi[d] = ceilDiv(b.Hi[d], r)
+	}
+	return res
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int) int { return -floorDiv(-a, b) }
+
+// ChopDim splits the box at coordinate c along dimension d, returning the
+// lower part [Lo, c) and the upper part [c, Hi). c must satisfy
+// Lo[d] <= c <= Hi[d]; out-of-range values are clamped.
+func (b Box) ChopDim(d, c int) (lo, hi Box) {
+	if c < b.Lo[d] {
+		c = b.Lo[d]
+	}
+	if c > b.Hi[d] {
+		c = b.Hi[d]
+	}
+	lo, hi = b, b
+	lo.Hi[d] = c
+	hi.Lo[d] = c
+	return lo, hi
+}
+
+// LongestDim returns the dimension along which the box is largest.
+func (b Box) LongestDim() int {
+	best, bd := -1, 0
+	for d := 0; d < b.Dim; d++ {
+		if s := b.Size(d); s > best {
+			best, bd = s, d
+		}
+	}
+	return bd
+}
+
+// Subtract returns b minus o as a list of disjoint boxes. The result is
+// empty when o covers b, and is {b} when they do not intersect.
+func (b Box) Subtract(o Box) []Box {
+	ov := b.Intersect(o)
+	if ov.Empty() {
+		if b.Empty() {
+			return nil
+		}
+		return []Box{b}
+	}
+	var out []Box
+	rem := b
+	for d := 0; d < b.Dim; d++ {
+		if rem.Lo[d] < ov.Lo[d] {
+			lo, hi := rem.ChopDim(d, ov.Lo[d])
+			if !lo.Empty() {
+				out = append(out, lo)
+			}
+			rem = hi
+		}
+		if ov.Hi[d] < rem.Hi[d] {
+			lo, hi := rem.ChopDim(d, ov.Hi[d])
+			if !hi.Empty() {
+				out = append(out, hi)
+			}
+			rem = lo
+		}
+	}
+	return out
+}
+
+// Cells calls f for every cell of the box in row-major order (x fastest).
+func (b Box) Cells(f func(p IntVect)) {
+	if b.Empty() {
+		return
+	}
+	var p IntVect
+	zlo, zhi := 0, 1
+	if b.Dim == 3 {
+		zlo, zhi = b.Lo[2], b.Hi[2]
+	}
+	for z := zlo; z < zhi; z++ {
+		for y := b.Lo[1]; y < b.Hi[1]; y++ {
+			for x := b.Lo[0]; x < b.Hi[0]; x++ {
+				p[0], p[1], p[2] = x, y, z
+				f(p)
+			}
+		}
+	}
+}
+
+func (b Box) String() string {
+	if b.Dim == 3 {
+		return fmt.Sprintf("[%d:%d,%d:%d,%d:%d]", b.Lo[0], b.Hi[0], b.Lo[1], b.Hi[1], b.Lo[2], b.Hi[2])
+	}
+	return fmt.Sprintf("[%d:%d,%d:%d]", b.Lo[0], b.Hi[0], b.Lo[1], b.Hi[1])
+}

@@ -1,0 +1,318 @@
+package geom
+
+import "sort"
+
+// BoxList is an ordered collection of boxes on one refinement level. The
+// boxes of a well-formed SAMR level are pairwise disjoint, but BoxList
+// itself does not enforce disjointness; use Disjoint to check and
+// Simplify to canonicalize.
+type BoxList []Box
+
+// TotalVolume returns the sum of the member volumes. For a disjoint list
+// this is the number of covered cells.
+func (bl BoxList) TotalVolume() int64 {
+	var v int64
+	for _, b := range bl {
+		v += b.Volume()
+	}
+	return v
+}
+
+// TotalSurface returns the sum of member surfaces (boundary face count).
+func (bl BoxList) TotalSurface() int64 {
+	var s int64
+	for _, b := range bl {
+		s += b.Surface()
+	}
+	return s
+}
+
+// Bounds returns the bounding box of the list (empty box if the list is
+// empty).
+func (bl BoxList) Bounds() Box {
+	var r Box
+	for _, b := range bl {
+		r = r.Union(b)
+	}
+	return r
+}
+
+// Disjoint reports whether no two boxes in the list overlap.
+func (bl BoxList) Disjoint() bool {
+	for i := range bl {
+		for j := i + 1; j < len(bl); j++ {
+			if bl[i].Intersects(bl[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the list.
+func (bl BoxList) Clone() BoxList {
+	out := make(BoxList, len(bl))
+	copy(out, bl)
+	return out
+}
+
+// Refine returns the list with every box refined by r.
+func (bl BoxList) Refine(r int) BoxList {
+	out := make(BoxList, len(bl))
+	for i, b := range bl {
+		out[i] = b.Refine(r)
+	}
+	return out
+}
+
+// Coarsen returns the list with every box coarsened by r (rounding
+// outward). The result may contain overlapping boxes even if the input
+// was disjoint.
+func (bl BoxList) Coarsen(r int) BoxList {
+	out := make(BoxList, len(bl))
+	for i, b := range bl {
+		out[i] = b.Coarsen(r)
+	}
+	return out
+}
+
+// IntersectBox returns the (non-empty) intersections of every member with b.
+func (bl BoxList) IntersectBox(b Box) BoxList {
+	var out BoxList
+	for _, m := range bl {
+		if iv := m.Intersect(b); !iv.Empty() {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// SubtractBox returns the region of the list not covered by b, as a
+// disjoint list (assuming the input list was disjoint).
+func (bl BoxList) SubtractBox(b Box) BoxList {
+	var out BoxList
+	for _, m := range bl {
+		out = append(out, m.Subtract(b)...)
+	}
+	return out
+}
+
+// Subtract returns the region of bl not covered by any box of other.
+func (bl BoxList) Subtract(other BoxList) BoxList {
+	cur := bl.Clone()
+	for _, b := range other {
+		cur = cur.SubtractBox(b)
+	}
+	return cur
+}
+
+// ContainsPoint reports whether any member contains p.
+func (bl BoxList) ContainsPoint(p IntVect) bool {
+	for _, b := range bl {
+		if b.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// CoversBox reports whether b is entirely covered by the union of the
+// list members.
+func (bl BoxList) CoversBox(b Box) bool {
+	rem := BoxList{b}
+	for _, m := range bl {
+		rem = rem.SubtractBox(m)
+		if len(rem) == 0 {
+			return true
+		}
+	}
+	return len(rem) == 0 || rem.TotalVolume() == 0
+}
+
+// OverlapVolume returns the number of cells in the intersection of the
+// unions of a and b. Both lists must be internally disjoint; members of a
+// are intersected pairwise against members of b using a sweep over the
+// x-interval order, which is O((n+m) log(n+m) + k) for k output pairs.
+//
+// This is the workhorse of the paper's data-migration penalty
+// (section 4.4): beta_m sums |G_{t-1}^{l,i} x G_t^{l,j}| over all patch
+// pairs of a level.
+func OverlapVolume(a, b BoxList) int64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Sweep over x: events are box starts/ends; maintain active sets.
+	type ev struct {
+		x     int
+		enter bool
+		which int // 0 = a, 1 = b
+		idx   int
+	}
+	events := make([]ev, 0, 2*(len(a)+len(b)))
+	for i, box := range a {
+		if !box.Empty() {
+			events = append(events, ev{box.Lo[0], true, 0, i}, ev{box.Hi[0], false, 0, i})
+		}
+	}
+	for i, box := range b {
+		if !box.Empty() {
+			events = append(events, ev{box.Lo[0], true, 1, i}, ev{box.Hi[0], false, 1, i})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].x != events[j].x {
+			return events[i].x < events[j].x
+		}
+		return !events[i].enter && events[j].enter // process exits first
+	})
+	activeA := map[int]bool{}
+	activeB := map[int]bool{}
+	var total int64
+	for _, e := range events {
+		if e.enter {
+			if e.which == 0 {
+				for j := range activeB {
+					total += a[e.idx].Intersect(b[j]).Volume()
+				}
+				activeA[e.idx] = true
+			} else {
+				for i := range activeA {
+					total += a[i].Intersect(b[e.idx]).Volume()
+				}
+				activeB[e.idx] = true
+			}
+		} else {
+			if e.which == 0 {
+				delete(activeA, e.idx)
+			} else {
+				delete(activeB, e.idx)
+			}
+		}
+	}
+	return total
+}
+
+// OverlapVolumeNaive is the O(n*m) reference implementation of
+// OverlapVolume, kept as a test oracle.
+func OverlapVolumeNaive(a, b BoxList) int64 {
+	var total int64
+	for _, x := range a {
+		for _, y := range b {
+			total += x.Intersect(y).Volume()
+		}
+	}
+	return total
+}
+
+// Simplify merges mergeable neighbours (boxes that share a full face and
+// together form a box) until no merge applies. It reduces fragmentation
+// after Subtract chains; the covered region is unchanged.
+func (bl BoxList) Simplify() BoxList {
+	out := bl.Clone()
+	merged := true
+	for merged {
+		merged = false
+	outer:
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if m, ok := tryMerge(out[i], out[j]); ok {
+					out[i] = m
+					out = append(out[:j], out[j+1:]...)
+					merged = true
+					break outer
+				}
+			}
+		}
+	}
+	return out
+}
+
+func tryMerge(a, b Box) (Box, bool) {
+	diff := -1
+	for d := 0; d < a.Dim; d++ {
+		if a.Lo[d] == b.Lo[d] && a.Hi[d] == b.Hi[d] {
+			continue
+		}
+		if diff >= 0 {
+			return Box{}, false
+		}
+		diff = d
+	}
+	if diff < 0 {
+		return a, true // identical boxes
+	}
+	if a.Hi[diff] == b.Lo[diff] || b.Hi[diff] == a.Lo[diff] {
+		return a.Union(b), true
+	}
+	return Box{}, false
+}
+
+// MergedAxis merges boxes that are adjacent along dimension d and have
+// identical extents in every other dimension. It is O(n log n) and is
+// the building block of Compact.
+func (bl BoxList) MergedAxis(d int) BoxList {
+	if len(bl) < 2 {
+		return bl.Clone()
+	}
+	out := bl.Clone()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for e := 0; e < MaxDim; e++ {
+			if e == d {
+				continue
+			}
+			if a.Lo[e] != b.Lo[e] {
+				return a.Lo[e] < b.Lo[e]
+			}
+			if a.Hi[e] != b.Hi[e] {
+				return a.Hi[e] < b.Hi[e]
+			}
+		}
+		return a.Lo[d] < b.Lo[d]
+	})
+	merged := out[:1]
+	for _, b := range out[1:] {
+		last := &merged[len(merged)-1]
+		same := true
+		for e := 0; e < MaxDim; e++ {
+			if e != d && (last.Lo[e] != b.Lo[e] || last.Hi[e] != b.Hi[e]) {
+				same = false
+				break
+			}
+		}
+		if same && last.Hi[d] == b.Lo[d] {
+			last.Hi[d] = b.Hi[d]
+		} else {
+			merged = append(merged, b)
+		}
+	}
+	return merged
+}
+
+// Compact reduces fragmentation of a disjoint list by repeated
+// axis-aligned merging. Unlike Simplify it is near-linear, suitable for
+// lists of thousands of boxes; the covered region is unchanged.
+func (bl BoxList) Compact() BoxList {
+	cur := bl
+	for pass := 0; pass < 4; pass++ {
+		next := cur.MergedAxis(0).MergedAxis(1)
+		if len(next) == len(cur) {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}
+
+// SortByLo orders the list lexicographically by Lo corner; useful for
+// deterministic output.
+func (bl BoxList) SortByLo() {
+	sort.Slice(bl, func(i, j int) bool {
+		for d := MaxDim - 1; d >= 0; d-- {
+			if bl[i].Lo[d] != bl[j].Lo[d] {
+				return bl[i].Lo[d] < bl[j].Lo[d]
+			}
+		}
+		return false
+	})
+}

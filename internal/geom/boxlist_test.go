@@ -1,0 +1,167 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDisjointList builds a disjoint list by carving random boxes out of
+// a domain and keeping the non-overlapping parts.
+func randomDisjointList(r *rand.Rand, n int) BoxList {
+	var out BoxList
+	for len(out) < n {
+		c := randomBox(r)
+		ok := true
+		for _, b := range out {
+			if b.Intersects(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestBoxListTotals(t *testing.T) {
+	bl := BoxList{NewBox2(0, 0, 2, 2), NewBox2(4, 4, 6, 8)}
+	if bl.TotalVolume() != 4+8 {
+		t.Errorf("TotalVolume = %d", bl.TotalVolume())
+	}
+	if bl.TotalSurface() != 8+12 {
+		t.Errorf("TotalSurface = %d", bl.TotalSurface())
+	}
+	if bl.Bounds() != NewBox2(0, 0, 6, 8) {
+		t.Errorf("Bounds = %v", bl.Bounds())
+	}
+}
+
+func TestBoxListDisjoint(t *testing.T) {
+	if !(BoxList{NewBox2(0, 0, 2, 2), NewBox2(2, 0, 4, 2)}).Disjoint() {
+		t.Error("adjacent boxes reported overlapping")
+	}
+	if (BoxList{NewBox2(0, 0, 3, 3), NewBox2(2, 2, 4, 4)}).Disjoint() {
+		t.Error("overlapping boxes reported disjoint")
+	}
+}
+
+func TestBoxListSubtract(t *testing.T) {
+	domain := BoxList{NewBox2(0, 0, 10, 10)}
+	holes := BoxList{NewBox2(1, 1, 3, 3), NewBox2(5, 5, 8, 9)}
+	rem := domain.Subtract(holes)
+	want := domain.TotalVolume() - holes.TotalVolume()
+	if rem.TotalVolume() != want {
+		t.Errorf("Subtract volume = %d, want %d", rem.TotalVolume(), want)
+	}
+	if !rem.Disjoint() {
+		t.Error("Subtract result not disjoint")
+	}
+	for _, h := range holes {
+		for _, b := range rem {
+			if b.Intersects(h) {
+				t.Errorf("remainder %v intersects hole %v", b, h)
+			}
+		}
+	}
+}
+
+func TestBoxListCoversBox(t *testing.T) {
+	bl := BoxList{NewBox2(0, 0, 4, 8), NewBox2(4, 0, 8, 8)}
+	if !bl.CoversBox(NewBox2(1, 1, 7, 7)) {
+		t.Error("union should cover interior box")
+	}
+	if bl.CoversBox(NewBox2(6, 6, 10, 10)) {
+		t.Error("union should not cover protruding box")
+	}
+}
+
+func TestOverlapVolumeMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		a := randomDisjointList(r, 1+r.Intn(12))
+		b := randomDisjointList(r, 1+r.Intn(12))
+		fast := OverlapVolume(a, b)
+		slow := OverlapVolumeNaive(a, b)
+		if fast != slow {
+			t.Fatalf("trial %d: sweep=%d naive=%d\na=%v\nb=%v", trial, fast, slow, a, b)
+		}
+	}
+}
+
+func TestOverlapVolumeSelf(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	bl := randomDisjointList(r, 10)
+	if got := OverlapVolume(bl, bl); got != bl.TotalVolume() {
+		t.Errorf("self-overlap = %d, want %d", got, bl.TotalVolume())
+	}
+}
+
+func TestOverlapVolumeEdgeCases(t *testing.T) {
+	if OverlapVolume(nil, BoxList{NewBox2(0, 0, 2, 2)}) != 0 {
+		t.Error("overlap with empty list should be 0")
+	}
+	// Face-adjacent boxes share no cells.
+	a := BoxList{NewBox2(0, 0, 4, 4)}
+	b := BoxList{NewBox2(4, 0, 8, 4)}
+	if OverlapVolume(a, b) != 0 {
+		t.Error("face-adjacent lists should have zero overlap")
+	}
+}
+
+func TestSimplifyMergesNeighbours(t *testing.T) {
+	bl := BoxList{NewBox2(0, 0, 4, 4), NewBox2(4, 0, 8, 4), NewBox2(0, 4, 8, 8)}
+	s := bl.Simplify()
+	if len(s) != 1 || s[0] != NewBox2(0, 0, 8, 8) {
+		t.Errorf("Simplify = %v, want single [0:8,0:8]", s)
+	}
+	if s.TotalVolume() != bl.TotalVolume() {
+		t.Error("Simplify changed covered volume")
+	}
+}
+
+func TestSimplifyPreservesRegion(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		bl := randomDisjointList(r, 8)
+		s := bl.Simplify()
+		if s.TotalVolume() != bl.TotalVolume() {
+			t.Fatalf("Simplify changed volume: %d -> %d", bl.TotalVolume(), s.TotalVolume())
+		}
+		if !s.Disjoint() {
+			t.Fatal("Simplify result not disjoint")
+		}
+	}
+}
+
+func TestRefineCoarsenList(t *testing.T) {
+	bl := BoxList{NewBox2(0, 0, 2, 2), NewBox2(3, 3, 5, 4)}
+	if got := bl.Refine(2).TotalVolume(); got != 4*bl.TotalVolume() {
+		t.Errorf("Refine volume = %d", got)
+	}
+	rt := bl.Refine(2).Coarsen(2)
+	for i := range bl {
+		if rt[i] != bl[i] {
+			t.Errorf("round trip box %d = %v, want %v", i, rt[i], bl[i])
+		}
+	}
+}
+
+func TestSortByLoDeterministic(t *testing.T) {
+	bl := BoxList{NewBox2(5, 0, 6, 1), NewBox2(0, 0, 1, 1), NewBox2(0, 3, 1, 4)}
+	bl.SortByLo()
+	if bl[0] != NewBox2(0, 0, 1, 1) || bl[1] != NewBox2(5, 0, 6, 1) || bl[2] != NewBox2(0, 3, 1, 4) {
+		t.Errorf("SortByLo order = %v", bl)
+	}
+}
+
+func BenchmarkOverlapVolumeSweep(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	x := randomDisjointList(r, 40)
+	y := randomDisjointList(r, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OverlapVolume(x, y)
+	}
+}

@@ -1,0 +1,95 @@
+// Package geom provides the integer geometry primitives underlying a
+// structured adaptive mesh refinement (SAMR) grid hierarchy: integer
+// vectors, axis-aligned integer boxes, and box-list algebra (intersection,
+// area-of-union, refinement, coarsening, chopping, growing).
+//
+// All boxes are cell-centred and use inclusive lower and exclusive upper
+// bounds, i.e. a Box{Lo, Hi} covers the cells Lo <= c < Hi in each
+// dimension. The package is dimension-generic up to MaxDim (3) but the
+// paper's evaluation is two-dimensional.
+package geom
+
+import "fmt"
+
+// MaxDim is the maximum number of spatial dimensions supported.
+const MaxDim = 3
+
+// IntVect is a point on the integer lattice. Components beyond the active
+// dimensionality of a Box are ignored and must be zero-initialized.
+type IntVect [MaxDim]int
+
+// IV2 returns a 2-D integer vector.
+func IV2(x, y int) IntVect { return IntVect{x, y, 0} }
+
+// IV3 returns a 3-D integer vector.
+func IV3(x, y, z int) IntVect { return IntVect{x, y, z} }
+
+// Add returns the component-wise sum v + w.
+func (v IntVect) Add(w IntVect) IntVect {
+	for d := 0; d < MaxDim; d++ {
+		v[d] += w[d]
+	}
+	return v
+}
+
+// Sub returns the component-wise difference v - w.
+func (v IntVect) Sub(w IntVect) IntVect {
+	for d := 0; d < MaxDim; d++ {
+		v[d] -= w[d]
+	}
+	return v
+}
+
+// Scale returns the component-wise product v * s.
+func (v IntVect) Scale(s int) IntVect {
+	for d := 0; d < MaxDim; d++ {
+		v[d] *= s
+	}
+	return v
+}
+
+// Min returns the component-wise minimum of v and w.
+func (v IntVect) Min(w IntVect) IntVect {
+	for d := 0; d < MaxDim; d++ {
+		if w[d] < v[d] {
+			v[d] = w[d]
+		}
+	}
+	return v
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v IntVect) Max(w IntVect) IntVect {
+	for d := 0; d < MaxDim; d++ {
+		if w[d] > v[d] {
+			v[d] = w[d]
+		}
+	}
+	return v
+}
+
+// AllGE reports whether every component of v is >= the matching component
+// of w, considering only the first dim components.
+func (v IntVect) AllGE(w IntVect, dim int) bool {
+	for d := 0; d < dim; d++ {
+		if v[d] < w[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllLE reports whether every component of v is <= the matching component
+// of w, considering only the first dim components.
+func (v IntVect) AllLE(w IntVect, dim int) bool {
+	for d := 0; d < dim; d++ {
+		if v[d] > w[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func (v IntVect) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", v[0], v[1], v[2])
+}

@@ -1,0 +1,214 @@
+// Package grid defines the SAMR grid hierarchy: a coarse base grid
+// covering the whole domain, overlaid by successively finer levels of
+// rectangular patches tracking solution features. The hierarchy is the
+// "A" (application) state the paper's classification model consumes, and
+// the object partitioners decompose.
+package grid
+
+import (
+	"fmt"
+
+	"samr/internal/geom"
+)
+
+// Level is one refinement level of a hierarchy: a set of disjoint patch
+// boxes in that level's index space.
+type Level struct {
+	// Boxes are the level's patches, pairwise disjoint.
+	Boxes geom.BoxList
+}
+
+// NumPoints returns the number of grid points on the level.
+func (l Level) NumPoints() int64 { return l.Boxes.TotalVolume() }
+
+// Clone returns a deep copy.
+func (l Level) Clone() Level { return Level{Boxes: l.Boxes.Clone()} }
+
+// Hierarchy is a snapshot of an adaptive grid hierarchy: the base domain
+// plus zero or more refined levels. Level 0 always covers the whole
+// domain; level l+1 lives in an index space RefRatio times finer than
+// level l and must nest inside level l's footprint.
+type Hierarchy struct {
+	// Domain is the base (level 0) index-space box.
+	Domain geom.Box
+	// RefRatio is the spatial (and temporal) refinement factor between
+	// consecutive levels. The paper uses factor-2 refinement in space
+	// and time.
+	RefRatio int
+	// Levels[0] is the base level; Levels[l] for l > 0 are refinements.
+	Levels []Level
+}
+
+// NewHierarchy returns a hierarchy whose base level covers domain.
+func NewHierarchy(domain geom.Box, refRatio int) *Hierarchy {
+	return &Hierarchy{
+		Domain:   domain,
+		RefRatio: refRatio,
+		Levels:   []Level{{Boxes: geom.BoxList{domain}}},
+	}
+}
+
+// NumLevels returns the number of levels currently present.
+func (h *Hierarchy) NumLevels() int { return len(h.Levels) }
+
+// NumPoints returns |H|: the total number of grid points over all
+// levels. This is the denominator of the paper's data-migration penalty.
+func (h *Hierarchy) NumPoints() int64 {
+	var n int64
+	for _, l := range h.Levels {
+		n += l.NumPoints()
+	}
+	return n
+}
+
+// StepFactor returns the number of local time steps level l performs per
+// coarse (level 0) time step under subcycled factor-RefRatio time
+// refinement: RefRatio^l.
+func (h *Hierarchy) StepFactor(l int) int64 {
+	f := int64(1)
+	for i := 0; i < l; i++ {
+		f *= int64(h.RefRatio)
+	}
+	return f
+}
+
+// Workload returns W = sum_l |level l| * RefRatio^l: the total number of
+// cell updates per coarse time step. The paper normalizes communication
+// by this quantity ("100-percent communication ... all points in the
+// grid being involved in communications at all local time steps").
+func (h *Hierarchy) Workload() int64 {
+	var w int64
+	for l, lev := range h.Levels {
+		w += lev.NumPoints() * h.StepFactor(l)
+	}
+	return w
+}
+
+// LevelDomain returns the whole-domain box refined to level l's index
+// space.
+func (h *Hierarchy) LevelDomain(l int) geom.Box {
+	b := h.Domain
+	for i := 0; i < l; i++ {
+		b = b.Refine(h.RefRatio)
+	}
+	return b
+}
+
+// Footprint returns the boxes of level l coarsened to level 0 index
+// space. The footprint of levels >= 1 identifies the refined ("Core")
+// portion of the domain.
+func (h *Hierarchy) Footprint(l int) geom.BoxList {
+	bl := h.Levels[l].Boxes.Clone()
+	for i := 0; i < l; i++ {
+		bl = bl.Coarsen(h.RefRatio)
+	}
+	return bl
+}
+
+// RefinedFootprint returns the union footprint (level 0 index space) of
+// all levels >= 1: the Core region of the Nature+Fable decomposition.
+// The result may contain overlapping boxes.
+func (h *Hierarchy) RefinedFootprint() geom.BoxList {
+	var out geom.BoxList
+	for l := 1; l < len(h.Levels); l++ {
+		out = append(out, h.Footprint(l)...)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the hierarchy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	out := &Hierarchy{Domain: h.Domain, RefRatio: h.RefRatio}
+	out.Levels = make([]Level, len(h.Levels))
+	for i, l := range h.Levels {
+		out.Levels[i] = l.Clone()
+	}
+	return out
+}
+
+// Validate checks the structural invariants of a hierarchy: level 0
+// covers the domain, every level's boxes are disjoint and inside the
+// level domain, and every level l >= 1 nests inside level l-1's
+// footprint.
+func (h *Hierarchy) Validate() error {
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("grid: hierarchy has no levels")
+	}
+	if h.RefRatio < 2 {
+		return fmt.Errorf("grid: refinement ratio %d < 2", h.RefRatio)
+	}
+	if !h.Levels[0].Boxes.CoversBox(h.Domain) {
+		return fmt.Errorf("grid: level 0 does not cover the domain %v", h.Domain)
+	}
+	for l, lev := range h.Levels {
+		if !lev.Boxes.Disjoint() {
+			return fmt.Errorf("grid: level %d has overlapping boxes", l)
+		}
+		ld := h.LevelDomain(l)
+		for _, b := range lev.Boxes {
+			if !ld.ContainsBox(b) {
+				return fmt.Errorf("grid: level %d box %v outside level domain %v", l, b, ld)
+			}
+		}
+		if l > 0 {
+			parent := h.Levels[l-1].Boxes.Refine(h.RefRatio)
+			for _, b := range lev.Boxes {
+				if !parent.CoversBox(b) {
+					return fmt.Errorf("grid: level %d box %v not nested in level %d", l, b, l-1)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// OverlapPoints returns, per level, the number of grid points shared by
+// the two hierarchies' patch sets:
+//
+//	overlap[l] = sum_i sum_j |G_a^{l,i} x G_b^{l,j}|
+//
+// Levels present in only one hierarchy contribute zero. This is the
+// numerator sum of the paper's data-migration penalty (section 4.4).
+func OverlapPoints(a, b *Hierarchy) []int64 {
+	n := len(a.Levels)
+	if len(b.Levels) > n {
+		n = len(b.Levels)
+	}
+	out := make([]int64, n)
+	for l := 0; l < n; l++ {
+		if l >= len(a.Levels) || l >= len(b.Levels) {
+			continue
+		}
+		out[l] = geom.OverlapVolume(a.Levels[l].Boxes, b.Levels[l].Boxes)
+	}
+	return out
+}
+
+// TotalOverlap returns the sum of OverlapPoints over all levels.
+func TotalOverlap(a, b *Hierarchy) int64 {
+	var t int64
+	for _, v := range OverlapPoints(a, b) {
+		t += v
+	}
+	return t
+}
+
+// SurfacePoints returns, per level, the total patch boundary surface
+// (count of boundary faces) — the raw material of the communication
+// pressure penalty.
+func (h *Hierarchy) SurfacePoints() []int64 {
+	out := make([]int64, len(h.Levels))
+	for l, lev := range h.Levels {
+		out[l] = lev.Boxes.TotalSurface()
+	}
+	return out
+}
+
+func (h *Hierarchy) String() string {
+	s := fmt.Sprintf("Hierarchy{domain=%v ref=%d levels=%d points=%d",
+		h.Domain, h.RefRatio, len(h.Levels), h.NumPoints())
+	for l, lev := range h.Levels {
+		s += fmt.Sprintf(" L%d:%d boxes/%d pts", l, len(lev.Boxes), lev.NumPoints())
+	}
+	return s + "}"
+}

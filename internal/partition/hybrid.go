@@ -1,0 +1,330 @@
+package partition
+
+import (
+	"fmt"
+
+	"samr/internal/cluster"
+	"samr/internal/geom"
+	"samr/internal/grid"
+	"samr/internal/sfc"
+)
+
+// NatureFable is a hybrid partitioner modelled on the Nature+Fable
+// tool the paper's experiments use ("Natural Regions + Fractional
+// blocking and bi-level partitioning"). It follows the published
+// structure:
+//
+//  1. Separate the homogeneous, unrefined (Hue) regions of the base
+//     grid from the complex, refined (Core) regions, strictly
+//     domain-based: each Core carries its portion of the base grid plus
+//     every overlaid refined grid.
+//  2. Distribute processors between Hues and Cores in proportion to
+//     workload.
+//  3. Hues: expert blocking — chop into atomic blocks, order along a
+//     space-filling curve, cut into equal-load portions.
+//  4. Cores: a coarse partitioning maps core units onto processor
+//     groups (meta-partitions); within each group, refinement levels
+//     are clustered into bi-levels (0-1, 2-3, 4-...) and the same
+//     blocking machinery distributes each bi-level over the group.
+//
+// Parameters steer component behaviour as in the original (atomic unit,
+// group count Q, fractional blocking), which is what makes the tool
+// configurable by the meta-partitioner.
+type NatureFable struct {
+	// Curve orders blocks and core units.
+	Curve sfc.Curve
+	// AtomicUnit is the block edge length in base cells.
+	AtomicUnit int
+	// Groups is Q: the number of processor groups the cores are coarse-
+	// partitioned into (clamped to the processors available for cores).
+	Groups int
+	// FractionalBlocking splits blocks at processor-portion boundaries
+	// instead of rounding to whole blocks, trading communication for
+	// balance.
+	FractionalBlocking bool
+}
+
+// NewNatureFable returns the paper's static "default" configuration.
+func NewNatureFable() *NatureFable {
+	return &NatureFable{Curve: sfc.Hilbert, AtomicUnit: 2, Groups: 4, FractionalBlocking: true}
+}
+
+// Name implements Partitioner.
+func (nf *NatureFable) Name() string {
+	fb := "whole"
+	if nf.FractionalBlocking {
+		fb = "frac"
+	}
+	return fmt.Sprintf("nature+fable-%s-u%d-q%d-%s", nf.Curve, nf.AtomicUnit, nf.Groups, fb)
+}
+
+// Partition implements Partitioner.
+func (nf *NatureFable) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
+	a := &Assignment{NumProcs: nprocs}
+	cores := nf.coreRegions(h)
+	// Hue region: base domain minus the core footprints.
+	hue := h.Levels[0].Boxes.Clone()
+	for _, c := range cores {
+		hue = hue.SubtractBox(c)
+	}
+	hue = hue.Simplify()
+	hue.SortByLo()
+
+	// Workload split: hues have only base work; cores everything else.
+	hueW := hue.TotalVolume() // level 0, step factor 1
+	totalW := h.Workload()
+	coreW := totalW - hueW
+
+	coreProcs := nprocs
+	hueProcs := 0
+	if hueW > 0 && coreW > 0 {
+		coreProcs = int(float64(nprocs)*float64(coreW)/float64(totalW) + 0.5)
+		if coreProcs < 1 {
+			coreProcs = 1
+		}
+		if coreProcs >= nprocs && nprocs > 1 {
+			coreProcs = nprocs - 1
+		}
+		hueProcs = nprocs - coreProcs
+	} else if coreW == 0 {
+		hueProcs, coreProcs = nprocs, 0
+	}
+
+	// Hues: blocking over processors [coreProcs, nprocs).
+	if hueProcs > 0 && hueW > 0 {
+		nf.blockRegion(h, hue, 0, 0, coreProcs, hueProcs, &a.Fragments)
+	} else if hueW > 0 {
+		// No dedicated hue processors: fold hues into processor 0.
+		for _, b := range hue {
+			a.Fragments = append(a.Fragments, Fragment{Level: 0, Box: b, Owner: 0})
+		}
+	}
+
+	// Cores: coarse partition into groups, then bi-level blocking.
+	if coreProcs > 0 && coreW > 0 {
+		nf.partitionCores(h, cores, coreProcs, &a.Fragments)
+	}
+	a.Fragments = mergeFragments(a.Fragments)
+	return a
+}
+
+// coreRegions returns disjoint base-space boxes covering all refined
+// footprints: the "natural regions" separation.
+func (nf *NatureFable) coreRegions(h *grid.Hierarchy) geom.BoxList {
+	fp := h.RefinedFootprint()
+	if len(fp) == 0 {
+		return nil
+	}
+	regions := cluster.MakeDisjoint(fp).Simplify()
+	regions.SortByLo()
+	return regions
+}
+
+// partitionCores coarse-partitions the core columns into processor
+// groups and block-partitions each bi-level within its group.
+func (nf *NatureFable) partitionCores(h *grid.Hierarchy, cores geom.BoxList, coreProcs int, out *[]Fragment) {
+	groups := nf.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > coreProcs {
+		groups = coreProcs
+	}
+	// Coarse partitioning: order core units along the curve and cut
+	// into groups by workload.
+	units := unitsOf(h, cores, nf.AtomicUnit)
+	nf.orderUnits(units)
+	groupOf := cutChain(units, groups)
+
+	// Processors per group, proportional to group workload.
+	groupW := make([]int64, groups)
+	var totalW int64
+	for i, u := range units {
+		groupW[groupOf[i]] += u.weight
+		totalW += u.weight
+	}
+	procStart := make([]int, groups+1)
+	assigned := 0
+	for g := 0; g < groups; g++ {
+		procStart[g] = assigned
+		share := 1
+		if totalW > 0 {
+			share = int(float64(coreProcs)*float64(groupW[g])/float64(totalW) + 0.5)
+		}
+		remainingGroups := groups - g - 1
+		if share < 1 {
+			share = 1
+		}
+		if assigned+share > coreProcs-remainingGroups {
+			share = coreProcs - remainingGroups - assigned
+			if share < 1 {
+				share = 1
+			}
+		}
+		assigned += share
+	}
+	procStart[groups] = coreProcs
+
+	// Bi-level partitioning within each group.
+	maxLevel := len(h.Levels) - 1
+	for g := 0; g < groups; g++ {
+		var gUnits geom.BoxList
+		for i, u := range units {
+			if groupOf[i] == g {
+				gUnits = append(gUnits, u.box)
+			}
+		}
+		if len(gUnits) == 0 {
+			continue
+		}
+		gProcs := procStart[g+1] - procStart[g]
+		if gProcs < 1 {
+			gProcs = 1
+		}
+		for lo := 0; lo <= maxLevel; lo += 2 {
+			hi := lo + 1
+			if hi > maxLevel {
+				hi = maxLevel
+			}
+			nf.blockRegion(h, gUnits, lo, hi, procStart[g], gProcs, out)
+		}
+	}
+}
+
+// blockRegion distributes the cells of levels [loLevel, hiLevel] lying
+// over the base-space region across procs processors starting at
+// procBase, by SFC-ordered blocking of the region's atomic units. With
+// fractional blocking, the unit straddling a processor-portion boundary
+// is split between the two portions instead of rounding to whole
+// blocks, trading a little extra surface for tighter balance.
+func (nf *NatureFable) blockRegion(h *grid.Hierarchy, region geom.BoxList, loLevel, hiLevel, procBase, procs int, out *[]Fragment) {
+	us := nf.AtomicUnit
+	if us < 1 {
+		us = 1
+	}
+	var units []unit
+	for _, rb := range region {
+		for y := rb.Lo[1]; y < rb.Hi[1]; y += us {
+			for x := rb.Lo[0]; x < rb.Hi[0]; x += us {
+				ub := geom.NewBox2(x, y, minInt(x+us, rb.Hi[0]), minInt(y+us, rb.Hi[1]))
+				units = append(units, unit{box: ub, weight: bandWeight(h, ub, loLevel, hiLevel)})
+			}
+		}
+	}
+	nf.orderUnits(units)
+	owned := nf.cutUnits(units, procs)
+	for _, ou := range owned {
+		owner := procBase + ou.owner
+		fine := ou.box
+		for l := 0; l <= hiLevel && l < len(h.Levels); l++ {
+			if l > 0 {
+				fine = fine.Refine(h.RefRatio)
+			}
+			if l < loLevel {
+				continue
+			}
+			for _, iv := range h.Levels[l].Boxes.IntersectBox(fine) {
+				*out = append(*out, Fragment{Level: l, Box: iv, Owner: owner})
+			}
+		}
+	}
+}
+
+// ownedUnit is a base-space box with its processor-portion index.
+type ownedUnit struct {
+	box   geom.Box
+	owner int
+}
+
+// cutUnits cuts the ordered units into parts portions. Whole-block mode
+// delegates to cutChain; fractional mode splits the unit that straddles
+// each portion boundary proportionally to the remaining weight.
+func (nf *NatureFable) cutUnits(units []unit, parts int) []ownedUnit {
+	if !nf.FractionalBlocking {
+		owners := cutChain(units, parts)
+		out := make([]ownedUnit, len(units))
+		for i, u := range units {
+			out[i] = ownedUnit{box: u.box, owner: owners[i]}
+		}
+		return out
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	var total int64
+	for _, u := range units {
+		total += u.weight
+	}
+	var out []ownedUnit
+	var acc int64
+	p := 0
+	for _, u := range units {
+		rem := u
+		for p < parts-1 {
+			boundary := total * int64(p+1) / int64(parts)
+			if acc+rem.weight <= boundary || rem.weight == 0 {
+				break
+			}
+			// The unit straddles the boundary: split off the share that
+			// belongs to portion p (area-proportional approximation of
+			// the weight share).
+			share := float64(boundary-acc) / float64(rem.weight)
+			d := rem.box.LongestDim()
+			at := rem.box.Lo[d] + int(share*float64(rem.box.Size(d))+0.5)
+			lo, hi := rem.box.ChopDim(d, at)
+			if !lo.Empty() {
+				out = append(out, ownedUnit{box: lo, owner: p})
+			}
+			// Weight consumed by the lower piece, proportionally.
+			consumed := int64(share * float64(rem.weight))
+			acc += consumed
+			rem = unit{box: hi, weight: rem.weight - consumed}
+			p++
+			if hi.Empty() {
+				rem.weight = 0
+				break
+			}
+		}
+		if !rem.box.Empty() {
+			out = append(out, ownedUnit{box: rem.box, owner: p})
+			acc += rem.weight
+		}
+	}
+	return out
+}
+
+// bandWeight is columnWeight restricted to levels [lo, hi].
+func bandWeight(h *grid.Hierarchy, ub geom.Box, lo, hi int) int64 {
+	var w int64
+	fine := ub
+	for l := 0; l <= hi && l < len(h.Levels); l++ {
+		if l > 0 {
+			fine = fine.Refine(h.RefRatio)
+		}
+		if l < lo {
+			continue
+		}
+		w += h.Levels[l].Boxes.IntersectBox(fine).TotalVolume() * h.StepFactor(l)
+	}
+	return w
+}
+
+// orderUnits sorts units along the configured curve.
+func (nf *NatureFable) orderUnits(units []unit) {
+	us := nf.AtomicUnit
+	if us < 1 {
+		us = 1
+	}
+	keys := make([]int64, len(units))
+	order := make([]int, len(units))
+	for i, u := range units {
+		keys[i] = sfc.Index(nf.Curve, u.box.Lo[0]/us, u.box.Lo[1]/us)
+		order[i] = i
+	}
+	sortByKeys(order, keys)
+	sorted := make([]unit, len(units))
+	for i, oi := range order {
+		sorted[i] = units[oi]
+	}
+	copy(units, sorted)
+}

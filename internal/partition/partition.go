@@ -1,0 +1,242 @@
+// Package partition implements SAMR grid-hierarchy partitioners in the
+// three families the paper surveys (section 2.2): domain-based
+// (space-filling-curve composite partitioning), patch-based (per-level
+// distribution), and hybrid (a Nature+Fable-style partitioner with
+// Hue/Core separation, bi-levels and blocking). All partitioners produce
+// the same Assignment representation, which the execution simulator
+// consumes.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"samr/internal/geom"
+	"samr/internal/grid"
+)
+
+// Fragment is a box of cells on one level assigned to one processor.
+type Fragment struct {
+	Level int
+	Box   geom.Box
+	Owner int
+}
+
+// Assignment is a complete distribution of a hierarchy over processors.
+type Assignment struct {
+	NumProcs  int
+	Fragments []Fragment
+}
+
+// Partitioner decomposes a hierarchy across nprocs processors.
+type Partitioner interface {
+	// Name identifies the partitioner in experiment output.
+	Name() string
+	// Partition distributes h. Implementations must cover every cell of
+	// every level exactly once.
+	Partition(h *grid.Hierarchy, nprocs int) *Assignment
+}
+
+// LevelBoxes returns the fragments of level l grouped per owner.
+func (a *Assignment) LevelBoxes(level int) map[int]geom.BoxList {
+	out := make(map[int]geom.BoxList)
+	for _, f := range a.Fragments {
+		if f.Level == level && !f.Box.Empty() {
+			out[f.Owner] = append(out[f.Owner], f.Box)
+		}
+	}
+	return out
+}
+
+// NumLevels returns one more than the highest level index present.
+func (a *Assignment) NumLevels() int {
+	n := 0
+	for _, f := range a.Fragments {
+		if f.Level+1 > n {
+			n = f.Level + 1
+		}
+	}
+	return n
+}
+
+// Loads returns the computational load per processor: cell count
+// weighted by the level's local-step factor (level l work is
+// vol * RefRatio^l per coarse step).
+func (a *Assignment) Loads(h *grid.Hierarchy) []int64 {
+	loads := make([]int64, a.NumProcs)
+	for _, f := range a.Fragments {
+		loads[f.Owner] += f.Box.Volume() * h.StepFactor(f.Level)
+	}
+	return loads
+}
+
+// Imbalance returns the load-imbalance percentage: 100 * max/avg - 100,
+// the de-facto standard metric the paper cites ("the load of the
+// heaviest loaded processor divided by the average load"). Returns 0
+// for an empty assignment.
+func (a *Assignment) Imbalance(h *grid.Hierarchy) float64 {
+	loads := a.Loads(h)
+	var max, sum int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 0
+	}
+	avg := float64(sum) / float64(len(loads))
+	return 100*float64(max)/avg - 100
+}
+
+// Validate checks that the assignment covers every level of h exactly:
+// fragments are disjoint, within the level's boxes, and their total
+// volume matches the level's.
+func (a *Assignment) Validate(h *grid.Hierarchy) error {
+	if a.NumProcs < 1 {
+		return fmt.Errorf("partition: no processors")
+	}
+	for l, lev := range h.Levels {
+		var frags geom.BoxList
+		for _, f := range a.Fragments {
+			if f.Level == l {
+				if f.Owner < 0 || f.Owner >= a.NumProcs {
+					return fmt.Errorf("partition: level %d fragment %v has bad owner %d", l, f.Box, f.Owner)
+				}
+				frags = append(frags, f.Box)
+			}
+		}
+		if !frags.Disjoint() {
+			return fmt.Errorf("partition: level %d fragments overlap", l)
+		}
+		if got, want := frags.TotalVolume(), lev.NumPoints(); got != want {
+			return fmt.Errorf("partition: level %d covers %d of %d points", l, got, want)
+		}
+		for _, f := range frags {
+			if !lev.Boxes.CoversBox(f) {
+				return fmt.Errorf("partition: level %d fragment %v outside level boxes", l, f)
+			}
+		}
+	}
+	return nil
+}
+
+// unit is an atomic partitioning unit: a base-level box plus the
+// composite workload of the grid column above it.
+type unit struct {
+	box    geom.Box // base-level index space
+	weight int64
+}
+
+// unitsOf chops the given base-level region into atomic units of size
+// unitSize and weights each by the full-depth workload of h restricted
+// to the unit's column. Zero-weight units (possible only if region lies
+// outside the hierarchy) are kept so coverage stays exact.
+func unitsOf(h *grid.Hierarchy, region geom.BoxList, unitSize int) []unit {
+	var out []unit
+	for _, rb := range region {
+		for y := rb.Lo[1]; y < rb.Hi[1]; y += unitSize {
+			for x := rb.Lo[0]; x < rb.Hi[0]; x += unitSize {
+				ub := geom.NewBox2(x, y, minInt(x+unitSize, rb.Hi[0]), minInt(y+unitSize, rb.Hi[1]))
+				out = append(out, unit{box: ub, weight: columnWeight(h, ub)})
+			}
+		}
+	}
+	return out
+}
+
+// columnWeight returns the workload of the hierarchy column over the
+// base-space box ub: sum over levels of overlap volume times the level's
+// step factor.
+func columnWeight(h *grid.Hierarchy, ub geom.Box) int64 {
+	var w int64
+	fine := ub
+	for l := 0; l < len(h.Levels); l++ {
+		if l > 0 {
+			fine = fine.Refine(h.RefRatio)
+		}
+		w += h.Levels[l].Boxes.IntersectBox(fine).TotalVolume() * h.StepFactor(l)
+	}
+	return w
+}
+
+// cutChain splits the (already ordered) units into parts contiguous
+// chunks of near-equal weight (chains-on-chains greedy) and returns the
+// part index of each unit.
+func cutChain(units []unit, parts int) []int {
+	owners := make([]int, len(units))
+	if parts < 1 {
+		parts = 1
+	}
+	var total int64
+	for _, u := range units {
+		total += u.weight
+	}
+	var acc int64
+	p := 0
+	for i, u := range units {
+		// Advance to the next part when the running total passes the
+		// proportional boundary, keeping the last part non-starved.
+		for p < parts-1 && acc+u.weight/2 >= total*int64(p+1)/int64(parts) {
+			p++
+		}
+		owners[i] = p
+		acc += u.weight
+	}
+	return owners
+}
+
+// columnFragments converts one owned base-space unit into per-level
+// fragments: the unit's column intersected with every level's boxes.
+func columnFragments(h *grid.Hierarchy, ub geom.Box, owner int, out *[]Fragment) {
+	fine := ub
+	for l := 0; l < len(h.Levels); l++ {
+		if l > 0 {
+			fine = fine.Refine(h.RefRatio)
+		}
+		for _, iv := range h.Levels[l].Boxes.IntersectBox(fine) {
+			*out = append(*out, Fragment{Level: l, Box: iv, Owner: owner})
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mergeFragments coalesces mergeable same-level same-owner fragments to
+// reduce fragment-count pressure on the simulator. Coverage is
+// unchanged.
+func mergeFragments(frags []Fragment) []Fragment {
+	type key struct {
+		level, owner int
+	}
+	groups := make(map[key]geom.BoxList)
+	for _, f := range frags {
+		k := key{f.Level, f.Owner}
+		groups[k] = append(groups[k], f.Box)
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].level != keys[j].level {
+			return keys[i].level < keys[j].level
+		}
+		return keys[i].owner < keys[j].owner
+	})
+	var out []Fragment
+	for _, k := range keys {
+		bl := groups[k].Simplify()
+		bl.SortByLo()
+		for _, b := range bl {
+			out = append(out, Fragment{Level: k.level, Box: b, Owner: k.owner})
+		}
+	}
+	return out
+}

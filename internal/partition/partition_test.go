@@ -1,0 +1,352 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"samr/internal/geom"
+	"samr/internal/grid"
+	"samr/internal/sfc"
+)
+
+// testHierarchy builds a 3-level hierarchy with two separated refined
+// regions, one of which carries a level-2 patch.
+func testHierarchy() *grid.Hierarchy {
+	h := grid.NewHierarchy(geom.NewBox2(0, 0, 32, 32), 2)
+	h.Levels = append(h.Levels, grid.Level{Boxes: geom.BoxList{
+		geom.NewBox2(4, 4, 16, 16),   // level-1 patch (level-1 space)
+		geom.NewBox2(40, 40, 56, 60), // second refined region
+	}})
+	h.Levels = append(h.Levels, grid.Level{Boxes: geom.BoxList{
+		geom.NewBox2(12, 12, 28, 28), // nested in the first L1 patch
+	}})
+	return h
+}
+
+func allPartitioners() []Partitioner {
+	return []Partitioner{
+		NewDomainSFC(),
+		&DomainSFC{Curve: sfc.Morton, UnitSize: 4},
+		NewPatchBased(),
+		NewNatureFable(),
+		&NatureFable{Curve: sfc.Morton, AtomicUnit: 4, Groups: 2, FractionalBlocking: false},
+	}
+}
+
+func TestHierarchyFixtureValid(t *testing.T) {
+	if err := testHierarchy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllPartitionersProduceValidAssignments(t *testing.T) {
+	h := testHierarchy()
+	for _, p := range allPartitioners() {
+		for _, np := range []int{1, 2, 4, 16, 32} {
+			a := p.Partition(h, np)
+			if err := a.Validate(h); err != nil {
+				t.Errorf("%s procs=%d: %v", p.Name(), np, err)
+			}
+		}
+	}
+}
+
+func TestPartitionUnrefinedHierarchy(t *testing.T) {
+	h := grid.NewHierarchy(geom.NewBox2(0, 0, 16, 16), 2)
+	for _, p := range allPartitioners() {
+		a := p.Partition(h, 4)
+		if err := a.Validate(h); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+		if imb := a.Imbalance(h); imb > 30 {
+			t.Errorf("%s: imbalance %f%% on a flat grid", p.Name(), imb)
+		}
+	}
+}
+
+func TestDomainSFCBalancesLoad(t *testing.T) {
+	h := testHierarchy()
+	a := NewDomainSFC().Partition(h, 8)
+	if imb := a.Imbalance(h); imb > 60 {
+		t.Errorf("domain SFC imbalance = %f%%, want moderate", imb)
+	}
+}
+
+func TestDomainSFCSingleProc(t *testing.T) {
+	h := testHierarchy()
+	a := NewDomainSFC().Partition(h, 1)
+	if imb := a.Imbalance(h); imb != 0 {
+		t.Errorf("single-proc imbalance = %f", imb)
+	}
+	for _, f := range a.Fragments {
+		if f.Owner != 0 {
+			t.Fatalf("single-proc fragment owned by %d", f.Owner)
+		}
+	}
+}
+
+func TestDomainSFCKeepsColumnsTogether(t *testing.T) {
+	// Domain-based property: for any base-space unit, all levels above
+	// it share one owner -> zero inter-level crossings.
+	h := testHierarchy()
+	a := NewDomainSFC().Partition(h, 8)
+	ownerAt := map[geom.IntVect]int{}
+	for _, f := range a.Fragments {
+		if f.Level != 0 {
+			continue
+		}
+		f.Box.Cells(func(p geom.IntVect) { ownerAt[p] = f.Owner })
+	}
+	for _, f := range a.Fragments {
+		if f.Level == 0 {
+			continue
+		}
+		fac := 1
+		for i := 0; i < f.Level; i++ {
+			fac *= h.RefRatio
+		}
+		f.Box.Cells(func(p geom.IntVect) {
+			base := geom.IV2(floorDivT(p[0], fac), floorDivT(p[1], fac))
+			if ownerAt[base] != f.Owner {
+				t.Fatalf("level %d cell %v owner %d != column owner %d",
+					f.Level, p, f.Owner, ownerAt[base])
+			}
+		})
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func floorDivT(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func TestPatchBasedBalancesEachLevel(t *testing.T) {
+	h := testHierarchy()
+	a := NewPatchBased().Partition(h, 4)
+	if err := a.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	// With splitting enabled, global imbalance should be moderate.
+	if imb := a.Imbalance(h); imb > 80 {
+		t.Errorf("patch-based imbalance = %f%%", imb)
+	}
+}
+
+func TestPatchBasedSplitsHugePatches(t *testing.T) {
+	h := grid.NewHierarchy(geom.NewBox2(0, 0, 64, 64), 2)
+	a := NewPatchBased().Partition(h, 8)
+	// A single 64x64 patch over 8 procs must split: more than 1 fragment.
+	if len(a.Fragments) < 8 {
+		t.Errorf("expected the base patch to split into >= 8 fragments, got %d", len(a.Fragments))
+	}
+	if imb := a.Imbalance(h); imb > 30 {
+		t.Errorf("imbalance after splitting = %f%%", imb)
+	}
+}
+
+func TestNatureFableSeparatesHuesAndCores(t *testing.T) {
+	h := testHierarchy()
+	nf := NewNatureFable()
+	cores := nf.coreRegions(h)
+	if len(cores) == 0 {
+		t.Fatal("no core regions found for a refined hierarchy")
+	}
+	// Core regions must cover both refined footprints.
+	for _, fp := range h.RefinedFootprint() {
+		if !cores.CoversBox(fp) {
+			t.Errorf("core regions do not cover footprint %v", fp)
+		}
+	}
+	// And be disjoint.
+	if !cores.Disjoint() {
+		t.Error("core regions overlap")
+	}
+}
+
+func TestNatureFableCoreOwnersDifferFromHueOwners(t *testing.T) {
+	h := testHierarchy()
+	a := NewNatureFable().Partition(h, 8)
+	if err := a.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	// Refined-level fragments should use the core processor range only.
+	coreOwners := map[int]bool{}
+	for _, f := range a.Fragments {
+		if f.Level > 0 {
+			coreOwners[f.Owner] = true
+		}
+	}
+	if len(coreOwners) < 2 {
+		t.Errorf("core work concentrated on %d processors", len(coreOwners))
+	}
+}
+
+func TestNatureFableGroupsClamp(t *testing.T) {
+	h := testHierarchy()
+	nf := &NatureFable{Curve: sfc.Hilbert, AtomicUnit: 2, Groups: 64, FractionalBlocking: true}
+	a := nf.Partition(h, 4) // Q far larger than procs
+	if err := a.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImbalanceComputation(t *testing.T) {
+	h := grid.NewHierarchy(geom.NewBox2(0, 0, 4, 4), 2)
+	a := &Assignment{NumProcs: 2, Fragments: []Fragment{
+		{Level: 0, Box: geom.NewBox2(0, 0, 4, 3), Owner: 0}, // 12 cells
+		{Level: 0, Box: geom.NewBox2(0, 3, 4, 4), Owner: 1}, // 4 cells
+	}}
+	// max=12, avg=8 -> 50%.
+	if imb := a.Imbalance(h); imb < 49.9 || imb > 50.1 {
+		t.Errorf("imbalance = %f, want 50", imb)
+	}
+}
+
+func TestValidateCatchesGaps(t *testing.T) {
+	h := grid.NewHierarchy(geom.NewBox2(0, 0, 4, 4), 2)
+	a := &Assignment{NumProcs: 1, Fragments: []Fragment{
+		{Level: 0, Box: geom.NewBox2(0, 0, 4, 3), Owner: 0},
+	}}
+	if err := a.Validate(h); err == nil {
+		t.Error("Validate should catch uncovered cells")
+	}
+	b := &Assignment{NumProcs: 1, Fragments: []Fragment{
+		{Level: 0, Box: geom.NewBox2(0, 0, 4, 4), Owner: 0},
+		{Level: 0, Box: geom.NewBox2(0, 0, 1, 1), Owner: 0},
+	}}
+	if err := b.Validate(h); err == nil {
+		t.Error("Validate should catch overlapping fragments")
+	}
+	c := &Assignment{NumProcs: 1, Fragments: []Fragment{
+		{Level: 0, Box: geom.NewBox2(0, 0, 4, 4), Owner: 3},
+	}}
+	if err := c.Validate(h); err == nil {
+		t.Error("Validate should catch out-of-range owner")
+	}
+}
+
+func TestCutChainProportions(t *testing.T) {
+	units := make([]unit, 100)
+	for i := range units {
+		units[i] = unit{weight: 10}
+	}
+	owners := cutChain(units, 4)
+	counts := map[int]int{}
+	for _, o := range owners {
+		counts[o]++
+	}
+	for p := 0; p < 4; p++ {
+		if counts[p] < 20 || counts[p] > 30 {
+			t.Errorf("part %d has %d units, want ~25", p, counts[p])
+		}
+	}
+	// Contiguity.
+	for i := 1; i < len(owners); i++ {
+		if owners[i] < owners[i-1] {
+			t.Fatal("cutChain not monotone")
+		}
+	}
+}
+
+func TestCutChainZeroWeights(t *testing.T) {
+	units := make([]unit, 10) // all zero weight
+	owners := cutChain(units, 3)
+	for _, o := range owners {
+		if o < 0 || o > 2 {
+			t.Fatalf("owner %d out of range", o)
+		}
+	}
+}
+
+func TestMergeFragmentsPreservesCoverage(t *testing.T) {
+	frags := []Fragment{
+		{Level: 0, Box: geom.NewBox2(0, 0, 2, 4), Owner: 1},
+		{Level: 0, Box: geom.NewBox2(2, 0, 4, 4), Owner: 1},
+		{Level: 0, Box: geom.NewBox2(4, 0, 8, 4), Owner: 2},
+	}
+	merged := mergeFragments(frags)
+	var vol1, vol2 int64
+	for _, f := range merged {
+		switch f.Owner {
+		case 1:
+			vol1 += f.Box.Volume()
+		case 2:
+			vol2 += f.Box.Volume()
+		}
+	}
+	if vol1 != 16 || vol2 != 16 {
+		t.Errorf("merged volumes = %d, %d", vol1, vol2)
+	}
+	if len(merged) != 2 {
+		t.Errorf("expected owner-1 boxes to merge, got %d fragments", len(merged))
+	}
+}
+
+func TestPartitionersDeterministic(t *testing.T) {
+	h := testHierarchy()
+	for _, p := range allPartitioners() {
+		a1 := p.Partition(h, 8)
+		a2 := p.Partition(h, 8)
+		if len(a1.Fragments) != len(a2.Fragments) {
+			t.Fatalf("%s: nondeterministic fragment count", p.Name())
+		}
+		for i := range a1.Fragments {
+			if a1.Fragments[i] != a2.Fragments[i] {
+				t.Fatalf("%s: nondeterministic fragment %d", p.Name(), i)
+			}
+		}
+	}
+}
+
+func TestPartitionersOnRandomHierarchies(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		h := randomHierarchy(r)
+		if err := h.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range allPartitioners() {
+			np := 1 + r.Intn(16)
+			a := p.Partition(h, np)
+			if err := a.Validate(h); err != nil {
+				t.Errorf("trial %d %s procs=%d: %v", trial, p.Name(), np, err)
+			}
+		}
+	}
+}
+
+// randomHierarchy builds a random valid 2-3 level hierarchy.
+func randomHierarchy(r *rand.Rand) *grid.Hierarchy {
+	h := grid.NewHierarchy(geom.NewBox2(0, 0, 32, 32), 2)
+	var l1 geom.BoxList
+	for i := 0; i < 1+r.Intn(3); i++ {
+		x, y := r.Intn(48), r.Intn(48)
+		b := geom.NewBox2(x, y, minInt(x+4+r.Intn(12), 64), minInt(y+4+r.Intn(12), 64))
+		ok := true
+		for _, e := range l1 {
+			if e.Intersects(b) {
+				ok = false
+			}
+		}
+		if ok && !b.Empty() {
+			l1 = append(l1, b)
+		}
+	}
+	if len(l1) > 0 {
+		h.Levels = append(h.Levels, grid.Level{Boxes: l1})
+		if r.Intn(2) == 0 {
+			f := l1[0].Refine(2)
+			b2 := geom.NewBox2(f.Lo[0], f.Lo[1], f.Lo[0]+(f.Size(0)/2), f.Lo[1]+(f.Size(1)/2))
+			if !b2.Empty() {
+				h.Levels = append(h.Levels, grid.Level{Boxes: geom.BoxList{b2}})
+			}
+		}
+	}
+	return h
+}

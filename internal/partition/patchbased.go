@@ -1,0 +1,93 @@
+package partition
+
+import (
+	"sort"
+
+	"samr/internal/geom"
+	"samr/internal/grid"
+)
+
+// PatchBased distributes each refinement level independently, in the
+// style of SAMRAI/LPARX/KeLP that the paper describes: each newly
+// created grid is assigned as a whole to a processor (split first if it
+// is much larger than the ideal per-processor share), using
+// longest-processing-time (LPT) bin packing per level.
+//
+// Its characteristic weaknesses — inter-level communication (parents and
+// children usually land on different processors) — appear naturally in
+// the execution simulator.
+type PatchBased struct {
+	// MaxOverIdeal splits any patch whose workload exceeds this multiple
+	// of the ideal per-processor load; 0 means the default of 1.
+	MaxOverIdeal float64
+}
+
+// NewPatchBased returns a patch-based partitioner with default
+// splitting.
+func NewPatchBased() *PatchBased { return &PatchBased{MaxOverIdeal: 1} }
+
+// Name implements Partitioner.
+func (p *PatchBased) Name() string { return "patch-lpt" }
+
+// Partition implements Partitioner.
+func (p *PatchBased) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
+	over := p.MaxOverIdeal
+	if over <= 0 {
+		over = 1
+	}
+	a := &Assignment{NumProcs: nprocs}
+	loads := make([]int64, nprocs) // global loads: balance across levels too
+	for l, lev := range h.Levels {
+		w := h.StepFactor(l)
+		var total int64
+		for _, b := range lev.Boxes {
+			total += b.Volume() * w
+		}
+		if total == 0 {
+			continue
+		}
+		ideal := float64(total) / float64(nprocs)
+		// Split oversized patches so no piece exceeds over*ideal.
+		var pieces geom.BoxList
+		queue := lev.Boxes.Clone()
+		for len(queue) > 0 {
+			b := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if float64(b.Volume()*w) > over*ideal && b.Size(b.LongestDim()) >= 2 {
+				d := b.LongestDim()
+				lo, hi := b.ChopDim(d, (b.Lo[d]+b.Hi[d])/2)
+				queue = append(queue, lo, hi)
+				continue
+			}
+			pieces = append(pieces, b)
+		}
+		// LPT: largest piece first onto the least-loaded processor.
+		sort.Slice(pieces, func(i, j int) bool {
+			if pieces[i].Volume() != pieces[j].Volume() {
+				return pieces[i].Volume() > pieces[j].Volume()
+			}
+			return lessLo(pieces[i], pieces[j])
+		})
+		for _, b := range pieces {
+			min := 0
+			for q := 1; q < nprocs; q++ {
+				if loads[q] < loads[min] {
+					min = q
+				}
+			}
+			a.Fragments = append(a.Fragments, Fragment{Level: l, Box: b, Owner: min})
+			loads[min] += b.Volume() * w
+		}
+	}
+	a.Fragments = mergeFragments(a.Fragments)
+	return a
+}
+
+func lessLo(a, b geom.Box) bool {
+	for d := geom.MaxDim - 1; d >= 0; d-- {
+		if a.Lo[d] != b.Lo[d] {
+			return a.Lo[d] < b.Lo[d]
+		}
+	}
+	return false
+}

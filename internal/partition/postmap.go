@@ -1,0 +1,183 @@
+package partition
+
+import (
+	"fmt"
+
+	"samr/internal/geom"
+	"samr/internal/grid"
+)
+
+// PostMapped wraps any partitioner with the post-mapping technique the
+// paper names as a data-migration remedy (section 4: "optimizing data
+// migration may be obtained by e.g. invoking some kind of post mapping
+// technique"). After the inner partitioner produces its decomposition,
+// the processor *labels* are permuted to maximize the number of grid
+// points that keep their previous owner: the geometric decomposition is
+// unchanged (load balance and communication are untouched), but the
+// assignment aligns with the previous one wherever possible, cutting
+// migration.
+//
+// The label permutation is chosen greedily on the overlap matrix
+// (points shared between previous owner p's region and new part q's
+// region), which is the standard linear-assignment heuristic for
+// repartitioning remap.
+type PostMapped struct {
+	// Inner produces the decomposition being remapped.
+	Inner Partitioner
+
+	prevH *grid.Hierarchy
+	prevA *Assignment
+}
+
+// NewPostMapped wraps inner with post-mapping.
+func NewPostMapped(inner Partitioner) *PostMapped { return &PostMapped{Inner: inner} }
+
+// Name implements Partitioner.
+func (pm *PostMapped) Name() string { return fmt.Sprintf("postmap(%s)", pm.Inner.Name()) }
+
+// Reset forgets the previous assignment (for replaying a new trace).
+func (pm *PostMapped) Reset() {
+	pm.prevH = nil
+	pm.prevA = nil
+}
+
+// Partition implements Partitioner: it runs the inner partitioner and
+// permutes the part labels to maximize overlap with the previous call's
+// assignment.
+func (pm *PostMapped) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
+	a := pm.Inner.Partition(h, nprocs)
+	if pm.prevA != nil && pm.prevA.NumProcs == nprocs {
+		perm := remapLabels(pm.prevH, pm.prevA, h, a)
+		remapped := &Assignment{NumProcs: nprocs, Fragments: make([]Fragment, len(a.Fragments))}
+		for i, f := range a.Fragments {
+			f.Owner = perm[f.Owner]
+			remapped.Fragments[i] = f
+		}
+		a = remapped
+	}
+	pm.prevH = h.Clone()
+	pm.prevA = a
+	return a
+}
+
+// remapLabels returns a permutation newOwner -> relabeledOwner that
+// maximizes the total point overlap with the previous assignment,
+// solved exactly with the Hungarian algorithm (processor counts are
+// small, so O(n^3) is negligible next to partitioning itself). Identity
+// is preferred among optima: the overlap of keeping a part's own label
+// gets an infinitesimal bonus, so label churn never happens without a
+// real gain.
+func remapLabels(prevH *grid.Hierarchy, prevA *Assignment, curH *grid.Hierarchy, curA *Assignment) []int {
+	n := curA.NumProcs
+	// overlap[q][p]: points of new part q lying in previous owner p's
+	// region (per level, weighted equally per point).
+	overlap := make([][]int64, n)
+	for q := range overlap {
+		overlap[q] = make([]int64, n)
+	}
+	levels := len(curH.Levels)
+	if len(prevH.Levels) < levels {
+		levels = len(prevH.Levels)
+	}
+	for l := 0; l < levels; l++ {
+		prevOwned := prevA.LevelBoxes(l)
+		curOwned := curA.LevelBoxes(l)
+		for q, qb := range curOwned {
+			for p, pb := range prevOwned {
+				overlap[q][p] += geom.OverlapVolume(qb, pb)
+			}
+		}
+	}
+	// Benefit matrix with identity preference: scale overlaps by 2 and
+	// add 1 on the diagonal so any strict overlap win dominates the
+	// bonus, but exact ties resolve to keeping labels.
+	benefit := make([][]int64, n)
+	var maxB int64
+	for q := range benefit {
+		benefit[q] = make([]int64, n)
+		for p := 0; p < n; p++ {
+			b := 2 * overlap[q][p]
+			if p == q {
+				b++
+			}
+			benefit[q][p] = b
+			if b > maxB {
+				maxB = b
+			}
+		}
+	}
+	// Hungarian solves minimization; convert to cost.
+	cost := make([][]int64, n)
+	for q := range cost {
+		cost[q] = make([]int64, n)
+		for p := 0; p < n; p++ {
+			cost[q][p] = maxB - benefit[q][p]
+		}
+	}
+	return hungarian(cost)
+}
+
+// hungarian solves the square assignment problem, returning for each
+// row the column of a minimum-cost perfect matching. Standard
+// potentials-based O(n^3) implementation.
+func hungarian(cost [][]int64) []int {
+	n := len(cost)
+	const inf = int64(1) << 62
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1) // p[col] = row matched to col (1-based)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	out := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			out[p[j]-1] = j - 1
+		}
+	}
+	return out
+}

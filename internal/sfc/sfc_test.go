@@ -1,0 +1,239 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"samr/internal/geom"
+)
+
+func TestMortonSmallGrid(t *testing.T) {
+	// The first four Morton indices trace the Z shape on a 2x2 grid.
+	want := map[[2]int]int64{
+		{0, 0}: 0, {1, 0}: 1, {0, 1}: 2, {1, 1}: 3,
+	}
+	for p, w := range want {
+		if got := Index(Morton, p[0], p[1]); got != w {
+			t.Errorf("Morton(%d,%d) = %d, want %d", p[0], p[1], got, w)
+		}
+	}
+}
+
+func TestMortonDistinct(t *testing.T) {
+	seen := map[int64][2]int{}
+	for x := 0; x < 32; x++ {
+		for y := 0; y < 32; y++ {
+			idx := Index(Morton, x, y)
+			if prev, dup := seen[idx]; dup {
+				t.Fatalf("Morton collision: (%d,%d) and %v -> %d", x, y, prev, idx)
+			}
+			seen[idx] = [2]int{x, y}
+		}
+	}
+}
+
+func TestHilbertBijectiveOnGrid(t *testing.T) {
+	seen := map[int64]bool{}
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 16; y++ {
+			idx := Index(Hilbert, x, y)
+			if seen[idx] {
+				t.Fatalf("Hilbert collision at (%d,%d)", x, y)
+			}
+			seen[idx] = true
+			px, py := HilbertPoint(idx)
+			if px != x || py != y {
+				t.Fatalf("HilbertPoint(%d) = (%d,%d), want (%d,%d)", idx, px, py, x, y)
+			}
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Consecutive Hilbert indices must map to 4-adjacent cells: the
+	// defining locality property that Morton does not have.
+	for d := int64(0); d < 1023; d++ {
+		x0, y0 := HilbertPoint(d)
+		x1, y1 := HilbertPoint(d + 1)
+		dist := abs(x1-x0) + abs(y1-y0)
+		if dist != 1 {
+			t.Fatalf("Hilbert jump of %d between d=%d (%d,%d) and d+1 (%d,%d)",
+				dist, d, x0, y0, x1, y1)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestRowMajorOrder(t *testing.T) {
+	if Index(RowMajor, 3, 0) >= Index(RowMajor, 0, 1) {
+		t.Error("row-major should order by y first")
+	}
+	if Index(RowMajor, 0, 0) >= Index(RowMajor, 1, 0) {
+		t.Error("row-major should order by x within a row")
+	}
+}
+
+func TestPropertyIndexNonNegative(t *testing.T) {
+	f := func(x, y uint16) bool {
+		return Index(Morton, int(x), int(y)) >= 0 &&
+			Index(Hilbert, int(x), int(y)) >= 0 &&
+			Index(RowMajor, int(x), int(y)) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMortonMonotoneInQuadrant(t *testing.T) {
+	// Doubling both coordinates of distinct points preserves Morton order.
+	f := func(ax, ay, bx, by uint8) bool {
+		a := Index(Morton, int(ax), int(ay))
+		b := Index(Morton, int(bx), int(by))
+		a2 := Index(Morton, int(ax)*2, int(ay)*2)
+		b2 := Index(Morton, int(bx)*2, int(by)*2)
+		return (a < b) == (a2 < b2) || a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderBoxes(t *testing.T) {
+	boxes := geom.BoxList{
+		geom.NewBox2(8, 8, 10, 10),
+		geom.NewBox2(0, 0, 2, 2),
+		geom.NewBox2(8, 0, 10, 2),
+		geom.NewBox2(0, 8, 2, 10),
+	}
+	perm := OrderBoxes(Hilbert, boxes, 1)
+	if len(perm) != 4 {
+		t.Fatalf("perm length = %d", len(perm))
+	}
+	if boxes[0] != geom.NewBox2(0, 0, 2, 2) {
+		t.Errorf("first box after Hilbert order = %v", boxes[0])
+	}
+	// The Hilbert order on the four corners visits adjacent corners
+	// consecutively: total corner-path length must be 3 edges.
+	for i := 1; i < len(boxes); i++ {
+		dx := abs(boxes[i].Lo[0] - boxes[i-1].Lo[0])
+		dy := abs(boxes[i].Lo[1] - boxes[i-1].Lo[1])
+		if dx+dy > 8 {
+			t.Errorf("Hilbert order makes a long jump from %v to %v", boxes[i-1], boxes[i])
+		}
+	}
+}
+
+func TestOrderBoxesUnitCoarsening(t *testing.T) {
+	boxes := geom.BoxList{
+		geom.NewBox2(5, 0, 6, 1), // same unit cell as (4,0) for unit=4
+		geom.NewBox2(4, 1, 5, 2),
+	}
+	orig := boxes.Clone()
+	OrderBoxes(Morton, boxes, 4)
+	// Both lie in unit (1,0): stable order keeps the original sequence.
+	if boxes[0] != orig[0] || boxes[1] != orig[1] {
+		t.Errorf("unit-coarsened order should be stable, got %v", boxes)
+	}
+}
+
+// locality measures the mean index gap between 4-adjacent cells: a proxy
+// for partition-boundary quality. Hilbert must beat RowMajor.
+func locality(c Curve, n int) float64 {
+	var total, count float64
+	gap := func(a, b int64) {
+		d := b - a
+		if d < 0 {
+			d = -d
+		}
+		total += float64(d)
+		count++
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x+1 < n {
+				gap(Index(c, x, y), Index(c, x+1, y))
+			}
+			if y+1 < n {
+				gap(Index(c, x, y), Index(c, x, y+1))
+			}
+		}
+	}
+	return total / count
+}
+
+func TestHilbertLocalityBeatsRowMajor(t *testing.T) {
+	h, r := locality(Hilbert, 32), locality(RowMajor, 32)
+	if h >= r {
+		t.Errorf("Hilbert locality %f should beat row-major %f", h, r)
+	}
+}
+
+func BenchmarkHilbertIndex(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]int, 1024)
+	ys := make([]int, 1024)
+	for i := range xs {
+		xs[i], ys[i] = r.Intn(1<<20), r.Intn(1<<20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Index(Hilbert, xs[i%1024], ys[i%1024])
+	}
+}
+
+func BenchmarkMortonIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Index(Morton, i&0xFFFFF, (i>>1)&0xFFFFF)
+	}
+}
+
+func TestMorton3DistinctAndOrdered(t *testing.T) {
+	seen := map[int64][3]int{}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				idx := Index3(Morton, x, y, z)
+				if idx < 0 {
+					t.Fatalf("negative 3-D Morton index at (%d,%d,%d)", x, y, z)
+				}
+				if prev, dup := seen[idx]; dup {
+					t.Fatalf("3-D Morton collision: (%d,%d,%d) and %v", x, y, z, prev)
+				}
+				seen[idx] = [3]int{x, y, z}
+			}
+		}
+	}
+	// The first eight indices trace the unit cube in Z order.
+	if Index3(Morton, 0, 0, 0) != 0 || Index3(Morton, 1, 0, 0) != 1 ||
+		Index3(Morton, 0, 1, 0) != 2 || Index3(Morton, 0, 0, 1) != 4 {
+		t.Error("3-D Morton corner order wrong")
+	}
+}
+
+func TestIndex3LayeredFallback(t *testing.T) {
+	// Hilbert/RowMajor layer by z: same plane ordering, higher z wins.
+	if Index3(Hilbert, 5, 5, 0) >= Index3(Hilbert, 0, 0, 1) {
+		t.Error("layered 3-D index should order by z first")
+	}
+	if Index3(Hilbert, 1, 2, 3) == Index3(Hilbert, 2, 1, 3) {
+		t.Error("in-plane ordering lost")
+	}
+}
+
+func TestMorton3HighBits(t *testing.T) {
+	// Large coordinates stay within int64 and preserve quadrant order.
+	big := 1 << 20
+	if Index3(Morton, big, big, big) < 0 {
+		t.Error("3-D Morton overflowed int64")
+	}
+	if Index3(Morton, big, 0, 0) >= Index3(Morton, big, big, big) {
+		t.Error("3-D Morton monotonicity violated on high bits")
+	}
+}

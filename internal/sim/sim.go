@@ -1,0 +1,281 @@
+// Package sim is the Berger–Colella SAMR execution simulator: given a
+// partition-independent trace, a partitioner, and a machine model, it
+// computes per-coarse-step partitioning quality metrics — load
+// imbalance, intra- and inter-level communication volume, data
+// migration between consecutive repartitionings, and an execution-time
+// estimate. It plays the role of the Rutgers trace-driven simulator the
+// paper's validation uses ("software that simulates the execution of the
+// Berger-Colella SAMR algorithm ... the performance of the partitioning
+// configuration at each regrid step is computed using a metric with the
+// components load balance, communication, data migration, and
+// overheads").
+package sim
+
+import (
+	"samr/internal/geom"
+	"samr/internal/grid"
+	"samr/internal/partition"
+	"samr/internal/trace"
+)
+
+// Machine is the analytic machine model: the "C" component of the
+// paper's PAC triple, reduced to the scalar parameters the
+// classification model consumes (CPU speed, communication bandwidth).
+type Machine struct {
+	// CellTime is seconds per cell update.
+	CellTime float64
+	// PointBandwidth is grid points transferred per second between
+	// processors.
+	PointBandwidth float64
+	// MessageLatency is the fixed cost per message in seconds.
+	MessageLatency float64
+	// MigrationBandwidth is grid points migrated per second during
+	// redistribution.
+	MigrationBandwidth float64
+}
+
+// DefaultMachine models a commodity cluster of the paper's era (2004):
+// ~10 Mcell/s per-processor stencil throughput (a ~1 Gflop/s node at
+// ~100 flops per cell update), ~10 Mpoint/s network (≈100 MB/s), 20 us
+// message latency, and migration at half the link bandwidth
+// (pack/unpack overhead).
+func DefaultMachine() Machine {
+	return Machine{
+		CellTime:           1e-7,
+		PointBandwidth:     1e7,
+		MessageLatency:     2e-5,
+		MigrationBandwidth: 5e6,
+	}
+}
+
+// StepMetrics is the simulator output for one coarse time step.
+type StepMetrics struct {
+	// Step is the coarse step index (matches the trace snapshot).
+	Step int
+	// Loads is the per-processor computational load (weighted cell
+	// updates per coarse step).
+	Loads []int64
+	// Imbalance is the load imbalance percentage (100*max/avg - 100).
+	Imbalance float64
+	// IntraLevelComm is the ghost-exchange volume in point-transfers
+	// per coarse step (each level's imports times its local steps).
+	IntraLevelComm int64
+	// InterLevelComm is the parent-child transfer volume (prolongation
+	// and restriction across owners) per coarse step.
+	InterLevelComm int64
+	// Messages is the number of point-to-point transfers per coarse
+	// step.
+	Messages int64
+	// RelativeComm is (IntraLevelComm+InterLevelComm)/Workload: the
+	// paper's grid-relative communication metric.
+	RelativeComm float64
+	// Migration is the number of grid points whose owner changed
+	// relative to the previous step's assignment (points present in
+	// both hierarchies).
+	Migration int64
+	// RelativeMigration is Migration normalized by the previous
+	// hierarchy's size |H_{t-1}|: the paper's grid-relative data
+	// migration metric.
+	RelativeMigration float64
+	// EstTime is the machine-model execution-time estimate for the
+	// step, including migration cost.
+	EstTime float64
+}
+
+// TotalComm returns intra- plus inter-level communication volume.
+func (m StepMetrics) TotalComm() int64 { return m.IntraLevelComm + m.InterLevelComm }
+
+// ownedFragments groups an assignment's fragments per level.
+func ownedFragments(a *partition.Assignment, numLevels int) [][]partition.Fragment {
+	out := make([][]partition.Fragment, numLevels)
+	for _, f := range a.Fragments {
+		if f.Level < numLevels {
+			out[f.Level] = append(out[f.Level], f)
+		}
+	}
+	return out
+}
+
+// Evaluate computes the partition-quality metrics of one assignment on
+// one hierarchy (everything except migration, which needs the previous
+// step).
+func Evaluate(h *grid.Hierarchy, a *partition.Assignment, m Machine) StepMetrics {
+	sm := StepMetrics{Loads: a.Loads(h), Imbalance: a.Imbalance(h)}
+	perLevel := ownedFragments(a, len(h.Levels))
+
+	commPerProc := make([]int64, a.NumProcs)
+	msgsPerProc := make([]int64, a.NumProcs)
+	// Messages are aggregated per (receiver, sender) pair per local
+	// step, as real ghost-exchange implementations pack all fragment
+	// transfers between two processors into one message.
+	type pair struct{ dst, src int }
+
+	// Intra-level ghost exchange: for every fragment, the one-cell halo
+	// cells covered by a different owner's fragment are imported every
+	// local step.
+	for l, frags := range perLevel {
+		steps := h.StepFactor(l)
+		pairs := map[pair]bool{}
+		for i, f := range frags {
+			halo := geom.BoxList{f.Box.Grow(1)}.SubtractBox(f.Box)
+			for j, g := range frags {
+				if i == j || f.Owner == g.Owner {
+					continue
+				}
+				var vol int64
+				for _, hb := range halo {
+					vol += hb.Intersect(g.Box).Volume()
+				}
+				if vol > 0 {
+					sm.IntraLevelComm += vol * steps
+					commPerProc[f.Owner] += vol * steps
+					pairs[pair{f.Owner, g.Owner}] = true
+				}
+			}
+		}
+		for p := range pairs {
+			sm.Messages += steps
+			msgsPerProc[p.dst] += steps
+		}
+	}
+
+	// Inter-level transfers: fine fragments exchange boundary data and
+	// restriction results with the underlying coarse fragments once per
+	// coarse local step when the owners differ.
+	for l := 1; l < len(h.Levels); l++ {
+		coarseSteps := h.StepFactor(l - 1)
+		pairs := map[pair]bool{}
+		for _, f := range perLevel[l] {
+			under := f.Box.Coarsen(h.RefRatio)
+			for _, c := range perLevel[l-1] {
+				if f.Owner == c.Owner {
+					continue
+				}
+				vol := under.Intersect(c.Box).Volume()
+				if vol > 0 {
+					sm.InterLevelComm += vol * coarseSteps
+					commPerProc[f.Owner] += vol * coarseSteps
+					pairs[pair{f.Owner, c.Owner}] = true
+				}
+			}
+		}
+		for p := range pairs {
+			sm.Messages += coarseSteps
+			msgsPerProc[p.dst] += coarseSteps
+		}
+	}
+
+	if w := h.Workload(); w > 0 {
+		sm.RelativeComm = float64(sm.TotalComm()) / float64(w)
+	}
+
+	// Execution-time estimate: slowest processor's compute plus
+	// communication (synchronization couples them, per the paper's
+	// discussion of total = computational + communicational imbalance).
+	var worst float64
+	for p := 0; p < a.NumProcs; p++ {
+		t := float64(sm.Loads[p])*m.CellTime +
+			float64(commPerProc[p])/m.PointBandwidth +
+			float64(msgsPerProc[p])*m.MessageLatency
+		if t > worst {
+			worst = t
+		}
+	}
+	sm.EstTime = worst
+	return sm
+}
+
+// Migration returns the number of grid points that exist in both
+// hierarchies (per-level box overlap) but belong to different owners
+// under the two assignments. Newly created points are excluded: they
+// are filled by prolongation and counted as inter-level communication,
+// not migration.
+func Migration(hPrev, hCur *grid.Hierarchy, aPrev, aCur *partition.Assignment) int64 {
+	levels := len(hPrev.Levels)
+	if len(hCur.Levels) < levels {
+		levels = len(hCur.Levels)
+	}
+	var moved int64
+	for l := 0; l < levels; l++ {
+		shared := geom.OverlapVolume(hPrev.Levels[l].Boxes, hCur.Levels[l].Boxes)
+		prevOwned := aPrev.LevelBoxes(l)
+		curOwned := aCur.LevelBoxes(l)
+		var stayed int64
+		for p, pb := range prevOwned {
+			if cb, ok := curOwned[p]; ok {
+				stayed += geom.OverlapVolume(pb, cb)
+			}
+		}
+		moved += shared - stayed
+	}
+	return moved
+}
+
+// Result is the simulator output for an entire trace.
+type Result struct {
+	// PartitionerName records which partitioner produced the metrics.
+	PartitionerName string
+	NumProcs        int
+	Steps           []StepMetrics
+}
+
+// TotalEstTime sums the per-step execution-time estimates.
+func (r *Result) TotalEstTime() float64 {
+	var t float64
+	for _, s := range r.Steps {
+		t += s.EstTime
+	}
+	return t
+}
+
+// MeanImbalance returns the average load-imbalance percentage.
+func (r *Result) MeanImbalance() float64 {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	var t float64
+	for _, s := range r.Steps {
+		t += s.Imbalance
+	}
+	return t / float64(len(r.Steps))
+}
+
+// SimulateTrace partitions every snapshot of the trace with p and
+// evaluates each step, chaining consecutive assignments for the
+// migration metric. This is the paper's experimental pipeline with a
+// statically configured partitioner.
+func SimulateTrace(tr *trace.Trace, p partition.Partitioner, nprocs int, m Machine) *Result {
+	return SimulateTraceSelect(tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
+		return p
+	}, nprocs, m)
+}
+
+// SimulateTraceSelect is SimulateTrace with a per-step partitioner
+// choice: the hook the meta-partitioner uses to realize fully dynamic
+// PACs (partitioner as a function of application state and time).
+func SimulateTraceSelect(tr *trace.Trace, choose func(step int, h *grid.Hierarchy) partition.Partitioner, nprocs int, m Machine) *Result {
+	res := &Result{NumProcs: nprocs}
+	var prevH *grid.Hierarchy
+	var prevA *partition.Assignment
+	for i, snap := range tr.Snapshots {
+		p := choose(snap.Step, snap.H)
+		if i == 0 {
+			res.PartitionerName = p.Name()
+		} else if res.PartitionerName != p.Name() {
+			res.PartitionerName = "dynamic"
+		}
+		a := p.Partition(snap.H, nprocs)
+		sm := Evaluate(snap.H, a, m)
+		sm.Step = snap.Step
+		if prevH != nil {
+			sm.Migration = Migration(prevH, snap.H, prevA, a)
+			if np := prevH.NumPoints(); np > 0 {
+				sm.RelativeMigration = float64(sm.Migration) / float64(np)
+			}
+			sm.EstTime += float64(sm.Migration) / m.MigrationBandwidth
+		}
+		res.Steps = append(res.Steps, sm)
+		prevH, prevA = snap.H, a
+	}
+	return res
+}

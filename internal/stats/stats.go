@@ -1,0 +1,165 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to quantify how well the model's penalties track the
+// simulator's measured metrics: Pearson correlation (plain and lagged),
+// series summaries, and oscillation-period estimation via
+// autocorrelation. The paper validates visually; these numbers make the
+// same comparison reproducible in text output.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MinMax returns the extrema of the series.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Pearson returns the Pearson correlation coefficient of the two
+// series, which must have equal length. Degenerate series (zero
+// variance) give 0.
+func Pearson(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var num, da, db float64
+	for i := 0; i < n; i++ {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// LaggedPearson returns the Pearson correlation of a[i] against
+// b[i+lag] (positive lag: a leads b). Out-of-range points are dropped.
+func LaggedPearson(a, b []float64, lag int) float64 {
+	n := len(a)
+	if n != len(b) {
+		return 0
+	}
+	var xa, xb []float64
+	for i := 0; i < n; i++ {
+		j := i + lag
+		if j < 0 || j >= n {
+			continue
+		}
+		xa = append(xa, a[i])
+		xb = append(xb, b[j])
+	}
+	return Pearson(xa, xb)
+}
+
+// BestLag searches lags in [-maxLag, maxLag] and returns the lag with
+// the highest correlation, with ties broken toward zero lag. The paper
+// notes beta_m occasionally peaks one step before the measured
+// migration; BestLag quantifies that lead.
+func BestLag(a, b []float64, maxLag int) (lag int, corr float64) {
+	bestLag, bestCorr := 0, math.Inf(-1)
+	for l := -maxLag; l <= maxLag; l++ {
+		c := LaggedPearson(a, b, l)
+		better := c > bestCorr+1e-12 ||
+			(math.Abs(c-bestCorr) <= 1e-12 && abs(l) < abs(bestLag))
+		if better {
+			bestLag, bestCorr = l, c
+		}
+	}
+	return bestLag, bestCorr
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// DominantPeriod estimates the oscillation period of the series as the
+// lag of the first local autocorrelation peak above 0.2, searching
+// [2, maxLag]. Taking the first peak (not the global maximum) avoids
+// reporting integer multiples of the true period. Returns 0 when no
+// oscillation is detected.
+func DominantPeriod(xs []float64, maxLag int) int {
+	if maxLag >= len(xs) {
+		maxLag = len(xs) - 1
+	}
+	if maxLag < 2 {
+		return 0
+	}
+	ac := make([]float64, maxLag+1)
+	for l := 1; l <= maxLag; l++ {
+		ac[l] = LaggedPearson(xs, xs, l)
+	}
+	for l := 2; l <= maxLag; l++ {
+		if ac[l] <= 0.2 {
+			continue
+		}
+		// A genuine local peak: strictly above the previous lag (the
+		// autocorrelation rose into it) and not below the next.
+		if ac[l] > ac[l-1] && (l == maxLag || ac[l] >= ac[l+1]) {
+			return l
+		}
+	}
+	return 0
+}
+
+// Summary is a compact description of one series.
+type Summary struct {
+	Mean, Std, Min, Max float64
+	N                   int
+}
+
+// Summarize computes the Summary of a series.
+func Summarize(xs []float64) Summary {
+	min, max := MinMax(xs)
+	return Summary{Mean: Mean(xs), Std: StdDev(xs), Min: min, Max: max, N: len(xs)}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f max=%.4f", s.N, s.Mean, s.Std, s.Min, s.Max)
+}
