@@ -12,10 +12,14 @@
 package samr_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"samr/internal/apps"
 	"samr/internal/experiments"
+	"samr/internal/geom"
+	"samr/internal/partition"
+	"samr/internal/sim"
 	"samr/internal/trace"
 )
 
@@ -145,6 +149,47 @@ func BenchmarkAblationPostMapping(b *testing.B) {
 		t := experiments.AblationPostMapping(tr, experiments.DefaultProcs)
 		if len(t.Rows) != 4 {
 			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkBoxIndexQuery measures the spatial index on a fragment-scale
+// box population: build once, then query every box's one-cell halo —
+// the access pattern of the simulator's ghost-exchange analysis.
+func BenchmarkBoxIndexQuery(b *testing.B) {
+	r := rand.New(rand.NewSource(42))
+	const n = 512
+	boxes := make(geom.BoxList, n)
+	for i := range boxes {
+		x, y := r.Intn(1024), r.Intn(1024)
+		boxes[i] = geom.NewBox2(x, y, x+2+r.Intn(14), y+2+r.Intn(14))
+	}
+	ix := geom.NewBoxIndex(boxes)
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var hits int
+		for _, box := range boxes {
+			buf = ix.AppendQuery(buf[:0], box.Grow(1))
+			hits += len(buf)
+		}
+		if hits < n {
+			b.Fatal("index lost boxes")
+		}
+	}
+}
+
+// BenchmarkSimulateTraceParallel measures the full worker-pool
+// simulation pipeline (partition, evaluate, migration chaining) on the
+// paper-scale BL2D trace with the static hybrid partitioner.
+func BenchmarkSimulateTraceParallel(b *testing.B) {
+	tr := paperTrace(b, "BL2D")
+	m := sim.DefaultMachine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.SimulateTrace(tr, partition.NewNatureFable(), experiments.DefaultProcs, m)
+		if len(res.Steps) != tr.Len() {
+			b.Fatal("truncated result")
 		}
 	}
 }

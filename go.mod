@@ -1,0 +1,3 @@
+module samr
+
+go 1.24

@@ -180,21 +180,34 @@ func (d *Driver) advance(l int) {
 	}
 }
 
+// grownBoxes returns the grown (interior + halo) boxes of the patches,
+// the geometry the prolongation source lookups index.
+func grownBoxes(patches []*field.Patch) geom.BoxList {
+	out := make(geom.BoxList, len(patches))
+	for i, p := range patches {
+		out[i] = p.GrownBox()
+	}
+	return out
+}
+
 // fillGhosts fills level l halos: coarse prolongation first (l > 0),
 // then same-level exchange (overwriting where sibling data exists), then
-// the physical boundary.
+// the physical boundary. Prolongation sources are found through a
+// BoxIndex over the parent level's grown boxes instead of scanning every
+// parent patch per frame box.
 func (d *Driver) fillGhosts(l int) {
 	ls := d.levels[l]
 	if l > 0 {
 		parent := d.levels[l-1]
+		ix := geom.NewBoxIndex(grownBoxes(parent.patches))
+		var buf []int
 		for _, p := range ls.patches {
 			frame := geom.BoxList{p.GrownBox()}.SubtractBox(p.Box)
 			for _, fb := range frame {
 				coarseFrame := fb.Coarsen(d.cfg.RefRatio)
-				for _, cp := range parent.patches {
-					if coarseFrame.Intersects(cp.GrownBox()) {
-						field.ProlongLinear(p, cp, fb, d.cfg.RefRatio)
-					}
+				buf = ix.AppendQuery(buf[:0], coarseFrame)
+				for _, ci := range buf {
+					field.ProlongLinear(p, parent.patches[ci], fb, d.cfg.RefRatio)
 				}
 			}
 		}
@@ -206,12 +219,21 @@ func (d *Driver) fillGhosts(l int) {
 	}
 }
 
-// restrict averages level l+1 data down onto level l.
+// restrict averages level l+1 data down onto level l, pairing coarse
+// patches with the fine patches above them via a BoxIndex over the fine
+// footprints.
 func (d *Driver) restrict(l int) {
 	coarse, fine := d.levels[l], d.levels[l+1]
+	foot := make(geom.BoxList, len(fine.patches))
+	for i, fp := range fine.patches {
+		foot[i] = fp.Box.Coarsen(d.cfg.RefRatio)
+	}
+	ix := geom.NewBoxIndex(foot)
+	var buf []int
 	for _, cp := range coarse.patches {
-		for _, fp := range fine.patches {
-			field.Restrict(cp, fp, d.cfg.RefRatio)
+		buf = ix.AppendQuery(buf[:0], cp.Box)
+		for _, fi := range buf {
+			field.Restrict(cp, fine.patches[fi], d.cfg.RefRatio)
 		}
 	}
 }
@@ -239,10 +261,13 @@ func (d *Driver) clusterLevel(l int) geom.BoxList {
 		grown = append(grown, b.Grow(d.cfg.TagBuffer).Intersect(dom))
 	}
 	grown = cluster.MakeDisjoint(grown)
+	lix := geom.NewBoxIndex(ls.boxes)
 	var nested geom.BoxList
+	var buf []int
 	for _, bb := range grown {
-		for _, lb := range ls.boxes {
-			if iv := bb.Intersect(lb); !iv.Empty() {
+		buf = lix.AppendQuery(buf[:0], bb)
+		for _, li := range buf {
+			if iv := bb.Intersect(ls.boxes[li]); !iv.Empty() {
 				nested = append(nested, iv)
 			}
 		}
@@ -265,22 +290,28 @@ func (d *Driver) regrid(l int) {
 		}
 		newPatches := d.makePatches(newBoxes)
 		parent := d.levels[k]
+		pix := geom.NewBoxIndex(grownBoxes(parent.patches))
+		var buf []int
 		for _, np := range newPatches {
 			// Base fill: prolong everything from the parent level.
 			coarse := np.GrownBox().Coarsen(d.cfg.RefRatio)
-			for _, pp := range parent.patches {
-				if coarse.Intersects(pp.GrownBox()) {
-					field.ProlongLinear(np, pp, np.GrownBox(), d.cfg.RefRatio)
-				}
+			buf = pix.AppendQuery(buf[:0], coarse)
+			for _, pi := range buf {
+				field.ProlongLinear(np, parent.patches[pi], np.GrownBox(), d.cfg.RefRatio)
 			}
 		}
 		if k+1 < len(d.levels) {
 			old := d.levels[k+1]
+			interiors := make(geom.BoxList, len(old.patches))
+			for i, op := range old.patches {
+				interiors[i] = op.Box
+			}
+			oix := geom.NewBoxIndex(interiors)
 			for _, np := range newPatches {
-				for _, op := range old.patches {
-					if np.Box.Intersects(op.Box) {
-						np.CopyRegion(op, np.Box.Intersect(op.Box))
-					}
+				buf = oix.AppendQuery(buf[:0], np.Box)
+				for _, oi := range buf {
+					op := old.patches[oi]
+					np.CopyRegion(op, np.Box.Intersect(op.Box))
 				}
 			}
 		}

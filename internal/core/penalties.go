@@ -140,13 +140,20 @@ func LoadPenalty(h *grid.Hierarchy) float64 {
 	for (baseCells / int64(unit*unit)) > 1024 {
 		unit *= 2
 	}
+	// One BoxIndex per level amortizes the per-column level scans: the
+	// classifier calls LoadPenalty on every snapshot, so this loop is on
+	// the model's hot path.
+	indexes := make([]*geom.BoxIndex, len(h.Levels))
+	for l, lev := range h.Levels {
+		indexes[l] = geom.NewBoxIndex(lev.Boxes)
+	}
 	var sum, sumSq float64
 	var n int64
 	for _, bb := range base {
 		for y := bb.Lo[1]; y < bb.Hi[1]; y += unit {
 			for x := bb.Lo[0]; x < bb.Hi[0]; x += unit {
 				ub := bb.Intersect(geom.NewBox2(x, y, x+unit, y+unit))
-				w := float64(columnWorkload(h, ub))
+				w := float64(columnWorkload(h, indexes, ub))
 				sum += w
 				sumSq += w * w
 				n++
@@ -163,16 +170,16 @@ func LoadPenalty(h *grid.Hierarchy) float64 {
 }
 
 // columnWorkload is the workload of the hierarchy column over the
-// base-space box ub: overlap with every level weighted by its local-step
-// factor.
-func columnWorkload(h *grid.Hierarchy, ub geom.Box) int64 {
+// base-space box ub: overlap with every level (via the per-level box
+// indexes) weighted by its local-step factor.
+func columnWorkload(h *grid.Hierarchy, indexes []*geom.BoxIndex, ub geom.Box) int64 {
 	var w int64
 	fine := ub
 	for l := 0; l < len(h.Levels); l++ {
 		if l > 0 {
 			fine = fine.Refine(h.RefRatio)
 		}
-		w += h.Levels[l].Boxes.IntersectBox(fine).TotalVolume() * h.StepFactor(l)
+		w += indexes[l].QueryVolume(fine) * h.StepFactor(l)
 	}
 	return w
 }

@@ -6,6 +6,7 @@ import (
 	"samr/internal/core"
 	"samr/internal/grid"
 	"samr/internal/partition"
+	"samr/internal/pool"
 	"samr/internal/sfc"
 	"samr/internal/sim"
 	"samr/internal/stats"
@@ -58,7 +59,10 @@ func partitionerFamilies() []partition.Partitioner {
 // AblationPartitioners (Ablation B) measures every partitioner family
 // on the same trace: mean imbalance, mean relative communication, mean
 // relative migration, inter-level communication share, and total
-// estimated execution time.
+// estimated execution time. The per-family simulations are independent,
+// so they fan out across the worker pool; each goroutine writes its row
+// by index, keeping the table order (and content) identical to a
+// sequential run.
 func AblationPartitioners(tr *trace.Trace, nprocs int) *Table {
 	m := sim.DefaultMachine()
 	t := &Table{
@@ -66,7 +70,10 @@ func AblationPartitioners(tr *trace.Trace, nprocs int) *Table {
 		Title:   fmt.Sprintf("%s: partitioner families, %d procs", tr.App, nprocs),
 		Columns: []string{"partitioner", "mean_imb_pct", "mean_rel_comm", "mean_rel_mig", "interlevel_share", "est_time_s"},
 	}
-	for _, p := range partitionerFamilies() {
+	ps := partitionerFamilies()
+	t.Rows = make([][]string, len(ps))
+	pool.ForEach(pool.Workers(), len(ps), func(i int) {
+		p := ps[i]
 		res := sim.SimulateTrace(tr, p, nprocs, m)
 		var comm, mig []float64
 		var inter, total int64
@@ -80,15 +87,15 @@ func AblationPartitioners(tr *trace.Trace, nprocs int) *Table {
 		if total > 0 {
 			share = float64(inter) / float64(total)
 		}
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			p.Name(),
 			fmt.Sprintf("%.1f", res.MeanImbalance()),
 			fmt.Sprintf("%.4f", stats.Mean(comm)),
 			fmt.Sprintf("%.4f", stats.Mean(mig)),
 			fmt.Sprintf("%.3f", share),
 			fmt.Sprintf("%.4f", res.TotalEstTime()),
-		})
-	}
+		}
+	})
 	t.Notes = append(t.Notes,
 		"domain-based rows must show interlevel_share = 0 (section 2.2)",
 		"patch-based rows trade inter-level communication for balance",
@@ -108,32 +115,39 @@ func MetaVsStatic(tr *trace.Trace, nprocs int) *Table {
 		Columns: []string{"strategy", "est_time_s", "mean_imb_pct", "mean_rel_comm", "mean_rel_mig"},
 	}
 	meta := core.NewMetaPartitioner(partitionCostEstimate)
-	addRow := func(name string, res *sim.Result) {
+	row := func(name string, res *sim.Result) []string {
 		var comm, mig []float64
 		for _, s := range res.Steps {
 			comm = append(comm, s.RelativeComm)
 			mig = append(mig, s.RelativeMigration)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			name,
 			fmt.Sprintf("%.4f", res.TotalEstTime()),
 			fmt.Sprintf("%.1f", res.MeanImbalance()),
 			fmt.Sprintf("%.4f", stats.Mean(comm)),
 			fmt.Sprintf("%.4f", stats.Mean(mig)),
-		})
+		}
 	}
 
-	// Dynamic: meta-partitioner selects per step.
+	// Dynamic: meta-partitioner selects per step. This run shares the
+	// stable's partitioner instances (including the stateful post-mapped
+	// one), so it completes before the static runs start.
 	mm := sim.DefaultMachine()
 	dyn := sim.SimulateTraceSelect(tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
 		return meta.Select(h, timeSlot(h, nprocs, mm))
 	}, nprocs, m)
-	addRow("meta-partitioner(dynamic)", dyn)
 
-	for _, p := range meta.Stable() {
+	// Statics: each stable entry is a distinct instance, reset inside
+	// its own worker, so the per-partitioner simulations fan out.
+	stable := meta.Stable()
+	t.Rows = make([][]string, 1+len(stable))
+	t.Rows[0] = row("meta-partitioner(dynamic)", dyn)
+	pool.ForEach(pool.Workers(), len(stable), func(i int) {
+		p := stable[i]
 		resetStateful(p)
-		addRow("static:"+p.Name(), sim.SimulateTrace(tr, p, nprocs, m))
-	}
+		t.Rows[1+i] = row("static:"+p.Name(), sim.SimulateTrace(tr, p, nprocs, m))
+	})
 	t.Notes = append(t.Notes,
 		"expected shape: dynamic <= best static on average, << worst static",
 	)

@@ -16,6 +16,7 @@ import (
 	"samr/internal/core"
 	"samr/internal/grid"
 	"samr/internal/partition"
+	"samr/internal/pool"
 	"samr/internal/sim"
 	"samr/internal/stats"
 	"samr/internal/trace"
@@ -208,20 +209,32 @@ type Validation struct {
 
 // FigModelVsActual reproduces one of Figures 4-7: it runs the model
 // (penalties from the unpartitioned trace) and the simulator (actual
-// metrics under the static partitioner) and pairs the series.
+// metrics under the static partitioner) and pairs the series. The two
+// sides are independent until the pairing, so they run concurrently.
 func FigModelVsActual(tr *trace.Trace, nprocs int) *Validation {
 	m := sim.DefaultMachine()
-	res := sim.SimulateTrace(tr, staticPartitioner(), nprocs, m)
+	var res *sim.Result
+	samples := make([]core.Sample, len(tr.Snapshots))
+	pool.Run(
+		func() { res = sim.SimulateTrace(tr, staticPartitioner(), nprocs, m) },
+		func() {
+			// Model side: ab initio penalties over the raw trace. The
+			// classifier carries running state (previous hierarchy,
+			// size normalization), so it consumes snapshots in order.
+			cls := core.NewClassifier(partitionCostEstimate)
+			for i, snap := range tr.Snapshots {
+				samples[i] = cls.Classify(snap.H, timeSlot(snap.H, nprocs, m))
+			}
+		},
+	)
 
-	// Model side: ab initio penalties over the raw trace.
-	cls := core.NewClassifier(partitionCostEstimate)
 	var betaC, betaM, actC, actM []float64
 	var steps []int
 	for i, snap := range tr.Snapshots {
-		s := cls.Classify(snap.H, timeSlot(snap.H, nprocs, m))
 		if i == 0 {
 			continue // no previous state: neither beta_m nor migration
 		}
+		s := samples[i]
 		steps = append(steps, snap.Step)
 		betaC = append(betaC, s.BetaC)
 		betaM = append(betaM, s.BetaM)

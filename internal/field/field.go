@@ -139,14 +139,27 @@ const (
 // ExchangeGhosts fills ghost cells of every patch in patches from the
 // interiors of sibling patches on the same level. Cells not covered by a
 // sibling are left untouched (they are later filled by prolongation or
-// physical BC).
+// physical BC). Sibling lookup goes through a BoxIndex over the patch
+// interiors, so the exchange is near-linear in the patch count instead
+// of all-pairs.
 func ExchangeGhosts(patches []*Patch) {
-	for _, dst := range patches {
+	if len(patches) < 2 {
+		return
+	}
+	boxes := make(geom.BoxList, len(patches))
+	for i, p := range patches {
+		boxes[i] = p.Box
+	}
+	ix := geom.NewBoxIndex(boxes)
+	var buf []int
+	for di, dst := range patches {
 		halo := dst.GrownBox()
-		for _, src := range patches {
-			if src == dst {
+		buf = ix.AppendQuery(buf[:0], halo)
+		for _, si := range buf {
+			if si == di {
 				continue
 			}
+			src := patches[si]
 			ov := halo.Intersect(src.Box)
 			if !ov.Empty() {
 				dst.CopyRegion(src, ov)

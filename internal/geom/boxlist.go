@@ -130,9 +130,10 @@ func (bl BoxList) CoversBox(b Box) bool {
 }
 
 // OverlapVolume returns the number of cells in the intersection of the
-// unions of a and b. Both lists must be internally disjoint; members of a
-// are intersected pairwise against members of b using a sweep over the
-// x-interval order, which is O((n+m) log(n+m) + k) for k output pairs.
+// unions of a and b (both internally disjoint): the pairwise sum of
+// |a_i x b_j|. Small inputs use the direct double loop; larger ones
+// build a BoxIndex over the longer list and sum QueryVolume over the
+// shorter, which is near-linear instead of O(n*m).
 //
 // This is the workhorse of the paper's data-migration penalty
 // (section 4.4): beta_m sums |G_{t-1}^{l,i} x G_t^{l,j}| over all patch
@@ -141,53 +142,16 @@ func OverlapVolume(a, b BoxList) int64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	// Sweep over x: events are box starts/ends; maintain active sets.
-	type ev struct {
-		x     int
-		enter bool
-		which int // 0 = a, 1 = b
-		idx   int
+	if len(a)*len(b) <= 64 {
+		return OverlapVolumeNaive(a, b)
 	}
-	events := make([]ev, 0, 2*(len(a)+len(b)))
-	for i, box := range a {
-		if !box.Empty() {
-			events = append(events, ev{box.Lo[0], true, 0, i}, ev{box.Hi[0], false, 0, i})
-		}
+	if len(a) < len(b) {
+		a, b = b, a
 	}
-	for i, box := range b {
-		if !box.Empty() {
-			events = append(events, ev{box.Lo[0], true, 1, i}, ev{box.Hi[0], false, 1, i})
-		}
-	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].x != events[j].x {
-			return events[i].x < events[j].x
-		}
-		return !events[i].enter && events[j].enter // process exits first
-	})
-	activeA := map[int]bool{}
-	activeB := map[int]bool{}
+	ix := NewBoxIndex(a)
 	var total int64
-	for _, e := range events {
-		if e.enter {
-			if e.which == 0 {
-				for j := range activeB {
-					total += a[e.idx].Intersect(b[j]).Volume()
-				}
-				activeA[e.idx] = true
-			} else {
-				for i := range activeA {
-					total += a[i].Intersect(b[e.idx]).Volume()
-				}
-				activeB[e.idx] = true
-			}
-		} else {
-			if e.which == 0 {
-				delete(activeA, e.idx)
-			} else {
-				delete(activeB, e.idx)
-			}
-		}
+	for _, box := range b {
+		total += ix.QueryVolume(box)
 	}
 	return total
 }

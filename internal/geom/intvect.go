@@ -3,6 +3,15 @@
 // vectors, axis-aligned integer boxes, and box-list algebra (intersection,
 // area-of-union, refinement, coarsening, chopping, growing).
 //
+// For anything that would otherwise scan box pairs quadratically —
+// ghost-exchange candidates, column workloads, migration overlap — the
+// package provides BoxIndex, a uniform-bin spatial index built once per
+// BoxList and queried in near-constant time per box (Query for the
+// intersecting members, QueryVolume for the total overlap volume,
+// Neighbors for batch halo adjacency). The index is immutable and safe
+// for concurrent queries; OverlapVolume routes through it automatically
+// above a small-input cutoff.
+//
 // All boxes are cell-centred and use inclusive lower and exclusive upper
 // bounds, i.e. a Box{Lo, Hi} covers the cells Lo <= c < Hi in each
 // dimension. The package is dimension-generic up to MaxDim (3) but the

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"sort"
 
 	"samr/internal/grid"
 	"samr/internal/sfc"
@@ -40,7 +41,8 @@ func (d *DomainSFC) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 	if us < 1 {
 		us = 1
 	}
-	units := unitsOf(h, h.Levels[0].Boxes, us)
+	hi := newHierIndex(h)
+	units := hi.unitsOf(h.Levels[0].Boxes, us)
 	// Order the units along the curve.
 	order := make([]int, len(units))
 	keys := make([]int64, len(units))
@@ -56,21 +58,26 @@ func (d *DomainSFC) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 	owners := cutChain(ordered, nprocs)
 	a := &Assignment{NumProcs: nprocs}
 	for i, u := range ordered {
-		columnFragments(h, u.box, owners[i], &a.Fragments)
+		hi.columnFragments(u.box, owners[i], &a.Fragments)
 	}
 	a.Fragments = mergeFragments(a.Fragments)
 	return a
 }
 
-// sortByKeys sorts order by the parallel keys slice (stable insertion
-// sort; unit counts are modest).
+// sortByKeys sorts order (and keys, in tandem) ascending by key. The
+// sort is stable: equal keys keep their original relative order, which
+// the curve orderings rely on for deterministic unit chains.
 func sortByKeys(order []int, keys []int64) {
-	for i := 1; i < len(order); i++ {
-		j := i
-		for j > 0 && keys[j-1] > keys[j] {
-			keys[j-1], keys[j] = keys[j], keys[j-1]
-			order[j-1], order[j] = order[j], order[j-1]
-			j--
-		}
+	type kv struct {
+		k int64
+		o int
+	}
+	pairs := make([]kv, len(order))
+	for i := range pairs {
+		pairs[i] = kv{keys[i], order[i]}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	for i, p := range pairs {
+		keys[i], order[i] = p.k, p.o
 	}
 }

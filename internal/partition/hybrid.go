@@ -61,6 +61,7 @@ func (nf *NatureFable) Name() string {
 // Partition implements Partitioner.
 func (nf *NatureFable) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 	a := &Assignment{NumProcs: nprocs}
+	hi := newHierIndex(h)
 	cores := nf.coreRegions(h)
 	// Hue region: base domain minus the core footprints.
 	hue := h.Levels[0].Boxes.Clone()
@@ -92,7 +93,7 @@ func (nf *NatureFable) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 
 	// Hues: blocking over processors [coreProcs, nprocs).
 	if hueProcs > 0 && hueW > 0 {
-		nf.blockRegion(h, hue, 0, 0, coreProcs, hueProcs, &a.Fragments)
+		nf.blockRegion(hi, hue, 0, 0, coreProcs, hueProcs, &a.Fragments)
 	} else if hueW > 0 {
 		// No dedicated hue processors: fold hues into processor 0.
 		for _, b := range hue {
@@ -102,7 +103,7 @@ func (nf *NatureFable) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 
 	// Cores: coarse partition into groups, then bi-level blocking.
 	if coreProcs > 0 && coreW > 0 {
-		nf.partitionCores(h, cores, coreProcs, &a.Fragments)
+		nf.partitionCores(hi, cores, coreProcs, &a.Fragments)
 	}
 	a.Fragments = mergeFragments(a.Fragments)
 	return a
@@ -122,7 +123,7 @@ func (nf *NatureFable) coreRegions(h *grid.Hierarchy) geom.BoxList {
 
 // partitionCores coarse-partitions the core columns into processor
 // groups and block-partitions each bi-level within its group.
-func (nf *NatureFable) partitionCores(h *grid.Hierarchy, cores geom.BoxList, coreProcs int, out *[]Fragment) {
+func (nf *NatureFable) partitionCores(hi *hierIndex, cores geom.BoxList, coreProcs int, out *[]Fragment) {
 	groups := nf.Groups
 	if groups < 1 {
 		groups = 1
@@ -132,7 +133,7 @@ func (nf *NatureFable) partitionCores(h *grid.Hierarchy, cores geom.BoxList, cor
 	}
 	// Coarse partitioning: order core units along the curve and cut
 	// into groups by workload.
-	units := unitsOf(h, cores, nf.AtomicUnit)
+	units := hi.unitsOf(cores, nf.AtomicUnit)
 	nf.orderUnits(units)
 	groupOf := cutChain(units, groups)
 
@@ -166,7 +167,7 @@ func (nf *NatureFable) partitionCores(h *grid.Hierarchy, cores geom.BoxList, cor
 	procStart[groups] = coreProcs
 
 	// Bi-level partitioning within each group.
-	maxLevel := len(h.Levels) - 1
+	maxLevel := len(hi.h.Levels) - 1
 	for g := 0; g < groups; g++ {
 		var gUnits geom.BoxList
 		for i, u := range units {
@@ -182,11 +183,11 @@ func (nf *NatureFable) partitionCores(h *grid.Hierarchy, cores geom.BoxList, cor
 			gProcs = 1
 		}
 		for lo := 0; lo <= maxLevel; lo += 2 {
-			hi := lo + 1
-			if hi > maxLevel {
-				hi = maxLevel
+			band := lo + 1
+			if band > maxLevel {
+				band = maxLevel
 			}
-			nf.blockRegion(h, gUnits, lo, hi, procStart[g], gProcs, out)
+			nf.blockRegion(hi, gUnits, lo, band, procStart[g], gProcs, out)
 		}
 	}
 }
@@ -197,7 +198,7 @@ func (nf *NatureFable) partitionCores(h *grid.Hierarchy, cores geom.BoxList, cor
 // fractional blocking, the unit straddling a processor-portion boundary
 // is split between the two portions instead of rounding to whole
 // blocks, trading a little extra surface for tighter balance.
-func (nf *NatureFable) blockRegion(h *grid.Hierarchy, region geom.BoxList, loLevel, hiLevel, procBase, procs int, out *[]Fragment) {
+func (nf *NatureFable) blockRegion(hi *hierIndex, region geom.BoxList, loLevel, hiLevel, procBase, procs int, out *[]Fragment) {
 	us := nf.AtomicUnit
 	if us < 1 {
 		us = 1
@@ -207,26 +208,14 @@ func (nf *NatureFable) blockRegion(h *grid.Hierarchy, region geom.BoxList, loLev
 		for y := rb.Lo[1]; y < rb.Hi[1]; y += us {
 			for x := rb.Lo[0]; x < rb.Hi[0]; x += us {
 				ub := geom.NewBox2(x, y, minInt(x+us, rb.Hi[0]), minInt(y+us, rb.Hi[1]))
-				units = append(units, unit{box: ub, weight: bandWeight(h, ub, loLevel, hiLevel)})
+				units = append(units, unit{box: ub, weight: hi.bandWeight(ub, loLevel, hiLevel)})
 			}
 		}
 	}
 	nf.orderUnits(units)
 	owned := nf.cutUnits(units, procs)
 	for _, ou := range owned {
-		owner := procBase + ou.owner
-		fine := ou.box
-		for l := 0; l <= hiLevel && l < len(h.Levels); l++ {
-			if l > 0 {
-				fine = fine.Refine(h.RefRatio)
-			}
-			if l < loLevel {
-				continue
-			}
-			for _, iv := range h.Levels[l].Boxes.IntersectBox(fine) {
-				*out = append(*out, Fragment{Level: l, Box: iv, Owner: owner})
-			}
-		}
+		hi.bandFragments(ou.box, loLevel, hiLevel, procBase+ou.owner, out)
 	}
 }
 
@@ -291,22 +280,6 @@ func (nf *NatureFable) cutUnits(units []unit, parts int) []ownedUnit {
 		}
 	}
 	return out
-}
-
-// bandWeight is columnWeight restricted to levels [lo, hi].
-func bandWeight(h *grid.Hierarchy, ub geom.Box, lo, hi int) int64 {
-	var w int64
-	fine := ub
-	for l := 0; l <= hi && l < len(h.Levels); l++ {
-		if l > 0 {
-			fine = fine.Refine(h.RefRatio)
-		}
-		if l < lo {
-			continue
-		}
-		w += h.Levels[l].Boxes.IntersectBox(fine).TotalVolume() * h.StepFactor(l)
-	}
-	return w
 }
 
 // orderUnits sorts units along the configured curve.

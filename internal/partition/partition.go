@@ -129,17 +129,37 @@ type unit struct {
 	weight int64
 }
 
+// hierIndex is a per-partition-call cache of one BoxIndex per hierarchy
+// level. Column weights, band weights, and fragment generation all scan
+// "this unit's footprint against every box of level l"; the index turns
+// each such scan from O(boxes) into a candidate lookup. A hierIndex is
+// built once per Partition invocation and is not shared across
+// goroutines (the scratch buffer is not synchronized).
+type hierIndex struct {
+	h      *grid.Hierarchy
+	levels []*geom.BoxIndex
+	buf    []int
+}
+
+func newHierIndex(h *grid.Hierarchy) *hierIndex {
+	hi := &hierIndex{h: h, levels: make([]*geom.BoxIndex, len(h.Levels))}
+	for l, lev := range h.Levels {
+		hi.levels[l] = geom.NewBoxIndex(lev.Boxes)
+	}
+	return hi
+}
+
 // unitsOf chops the given base-level region into atomic units of size
-// unitSize and weights each by the full-depth workload of h restricted
-// to the unit's column. Zero-weight units (possible only if region lies
-// outside the hierarchy) are kept so coverage stays exact.
-func unitsOf(h *grid.Hierarchy, region geom.BoxList, unitSize int) []unit {
+// unitSize and weights each by the full-depth workload of the column
+// above it. Zero-weight units (possible only if region lies outside the
+// hierarchy) are kept so coverage stays exact.
+func (hi *hierIndex) unitsOf(region geom.BoxList, unitSize int) []unit {
 	var out []unit
 	for _, rb := range region {
 		for y := rb.Lo[1]; y < rb.Hi[1]; y += unitSize {
 			for x := rb.Lo[0]; x < rb.Hi[0]; x += unitSize {
 				ub := geom.NewBox2(x, y, minInt(x+unitSize, rb.Hi[0]), minInt(y+unitSize, rb.Hi[1]))
-				out = append(out, unit{box: ub, weight: columnWeight(h, ub)})
+				out = append(out, unit{box: ub, weight: hi.columnWeight(ub)})
 			}
 		}
 	}
@@ -149,16 +169,59 @@ func unitsOf(h *grid.Hierarchy, region geom.BoxList, unitSize int) []unit {
 // columnWeight returns the workload of the hierarchy column over the
 // base-space box ub: sum over levels of overlap volume times the level's
 // step factor.
-func columnWeight(h *grid.Hierarchy, ub geom.Box) int64 {
+func (hi *hierIndex) columnWeight(ub geom.Box) int64 {
 	var w int64
 	fine := ub
-	for l := 0; l < len(h.Levels); l++ {
+	for l := range hi.levels {
 		if l > 0 {
-			fine = fine.Refine(h.RefRatio)
+			fine = fine.Refine(hi.h.RefRatio)
 		}
-		w += h.Levels[l].Boxes.IntersectBox(fine).TotalVolume() * h.StepFactor(l)
+		w += hi.levels[l].QueryVolume(fine) * hi.h.StepFactor(l)
 	}
 	return w
+}
+
+// bandWeight is columnWeight restricted to levels [lo, hiLevel].
+func (hi *hierIndex) bandWeight(ub geom.Box, lo, hiLevel int) int64 {
+	var w int64
+	fine := ub
+	for l := 0; l <= hiLevel && l < len(hi.levels); l++ {
+		if l > 0 {
+			fine = fine.Refine(hi.h.RefRatio)
+		}
+		if l < lo {
+			continue
+		}
+		w += hi.levels[l].QueryVolume(fine) * hi.h.StepFactor(l)
+	}
+	return w
+}
+
+// bandFragments appends the fragments of levels [loLevel, hiLevel] lying
+// over the base-space box ub, assigned to owner, preserving the level
+// box order of the hierarchy.
+func (hi *hierIndex) bandFragments(ub geom.Box, loLevel, hiLevel, owner int, out *[]Fragment) {
+	fine := ub
+	for l := 0; l <= hiLevel && l < len(hi.levels); l++ {
+		if l > 0 {
+			fine = fine.Refine(hi.h.RefRatio)
+		}
+		if l < loLevel {
+			continue
+		}
+		hi.buf = hi.levels[l].AppendQuery(hi.buf[:0], fine)
+		for _, bi := range hi.buf {
+			if iv := hi.levels[l].Box(bi).Intersect(fine); !iv.Empty() {
+				*out = append(*out, Fragment{Level: l, Box: iv, Owner: owner})
+			}
+		}
+	}
+}
+
+// columnFragments converts one owned base-space unit into per-level
+// fragments: the unit's column intersected with every level's boxes.
+func (hi *hierIndex) columnFragments(ub geom.Box, owner int, out *[]Fragment) {
+	hi.bandFragments(ub, 0, len(hi.levels)-1, owner, out)
 }
 
 // cutChain splits the (already ordered) units into parts contiguous
@@ -185,20 +248,6 @@ func cutChain(units []unit, parts int) []int {
 		acc += u.weight
 	}
 	return owners
-}
-
-// columnFragments converts one owned base-space unit into per-level
-// fragments: the unit's column intersected with every level's boxes.
-func columnFragments(h *grid.Hierarchy, ub geom.Box, owner int, out *[]Fragment) {
-	fine := ub
-	for l := 0; l < len(h.Levels); l++ {
-		if l > 0 {
-			fine = fine.Refine(h.RefRatio)
-		}
-		for _, iv := range h.Levels[l].Boxes.IntersectBox(fine) {
-			*out = append(*out, Fragment{Level: l, Box: iv, Owner: owner})
-		}
-	}
 }
 
 func minInt(a, b int) int {

@@ -1,0 +1,85 @@
+// Package pool provides the bounded worker pools the simulation and
+// experiment pipelines fan out on. The helpers are deliberately tiny:
+// callers express parallelism as "run f(i) for i in [0, n)" and write
+// results into pre-sized slices by index, which keeps parallel output
+// bit-identical to the sequential order regardless of scheduling.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the default pool width: the process's GOMAXPROCS.
+// On a single-core runner this is 1 and every ForEach degrades to a
+// plain loop with zero goroutine overhead.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// active counts helper goroutines currently running across every pool
+// in the process; it caps total pool width at GOMAXPROCS even when
+// pools nest (an experiment fanning out per-partitioner runs whose
+// inner SimulateTrace fans out per-snapshot work).
+var active atomic.Int64
+
+// ForEach runs f(i) for every i in [0, n) on at most workers
+// goroutines, distributing indices dynamically (atomic counter) so
+// uneven step costs do not serialize on a static slicing. It returns
+// when every call has finished.
+//
+// The calling goroutine always participates, and helpers beyond it are
+// admitted only while the process-wide running-helper count stays under
+// GOMAXPROCS-1. Nested pools therefore degrade gracefully: when the
+// outer level already saturates the cores, inner ForEach calls run
+// inline in their caller instead of oversubscribing the scheduler —
+// and the never-blocking admission makes nesting deadlock-free.
+//
+// f must not panic; invocations are independent and must only write
+// state owned by index i.
+func ForEach(workers, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			f(i)
+		}
+	}
+	var wg sync.WaitGroup
+	budget := int64(runtime.GOMAXPROCS(0) - 1)
+	for w := 0; w < workers-1; w++ {
+		if active.Add(1) > budget {
+			active.Add(-1)
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer active.Add(-1)
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// Run executes the given functions concurrently (each on its own
+// goroutine, bounded by Workers) and returns when all are done. It is
+// ForEach over a heterogeneous task list.
+func Run(fns ...func()) {
+	ForEach(Workers(), len(fns), func(i int) { fns[i]() })
+}

@@ -1,0 +1,63 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 500
+		var hits [n]int32
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachNestedCoversAllIndices(t *testing.T) {
+	// Nested pools must stay correct (and deadlock-free) even when the
+	// outer level exhausts the process-wide helper budget and the inner
+	// calls degrade to inline execution.
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const outer, inner = 8, 50
+	var hits [outer * inner]int32
+	ForEach(Workers(), outer, func(i int) {
+		ForEach(Workers(), inner, func(j int) {
+			atomic.AddInt32(&hits[i*inner+j], 1)
+		})
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("nested index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -3, func(int) { ran = true })
+	if ran {
+		t.Error("ForEach ran work for n <= 0")
+	}
+}
+
+func TestRun(t *testing.T) {
+	var total atomic.Int64
+	Run(
+		func() { total.Add(1) },
+		func() { total.Add(10) },
+		func() { total.Add(100) },
+	)
+	if total.Load() != 111 {
+		t.Errorf("Run total = %d", total.Load())
+	}
+}

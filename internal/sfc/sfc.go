@@ -10,7 +10,11 @@
 // the seam where other orders can be plugged in.
 package sfc
 
-import "samr/internal/geom"
+import (
+	"sort"
+
+	"samr/internal/geom"
+)
 
 // Curve enumerates the supported space-filling curve families.
 type Curve int
@@ -174,19 +178,13 @@ func OrderBoxes(c Curve, boxes geom.BoxList, unit int) []int {
 		perm[i] = i
 		keys[i] = Index(c, b.Lo[0]/unit, b.Lo[1]/unit)
 	}
-	// Insertion sort keeps the permutation stable and is fast for the
-	// short lists typical of SAMR levels; large lists still complete in
-	// O(n^2) worst case which is acceptable for partitioning frequency.
+	// Stable sort of the permutation by key: equal keys keep their
+	// original relative order, preserving the insertion-sort stability
+	// guarantee in O(n log n); boxes are then permuted to match.
+	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
 	sorted := make(geom.BoxList, len(boxes))
-	copy(sorted, boxes)
-	for i := 1; i < len(sorted); i++ {
-		j := i
-		for j > 0 && keys[j-1] > keys[j] {
-			keys[j-1], keys[j] = keys[j], keys[j-1]
-			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
-			perm[j-1], perm[j] = perm[j], perm[j-1]
-			j--
-		}
+	for i, oi := range perm {
+		sorted[i] = boxes[oi]
 	}
 	copy(boxes, sorted)
 	return perm

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"samr/internal/apps"
+	"samr/internal/core"
+	"samr/internal/grid"
+	"samr/internal/partition"
+	"samr/internal/sfc"
+	"samr/internal/trace"
+)
+
+func quickTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := apps.QuickTrace("TP2D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// withProcs raises GOMAXPROCS for the test so the worker pool admits
+// real helper goroutines even on a single-core runner (pool.ForEach
+// caps process-wide helpers at GOMAXPROCS-1).
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// requireIdentical asserts two results agree bit-for-bit, step for step.
+func requireIdentical(t *testing.T, seq, par *Result) {
+	t.Helper()
+	if seq.PartitionerName != par.PartitionerName || seq.NumProcs != par.NumProcs {
+		t.Fatalf("header mismatch: %q/%d vs %q/%d",
+			seq.PartitionerName, seq.NumProcs, par.PartitionerName, par.NumProcs)
+	}
+	if len(seq.Steps) != len(par.Steps) {
+		t.Fatalf("step count %d vs %d", len(seq.Steps), len(par.Steps))
+	}
+	for i := range seq.Steps {
+		if !reflect.DeepEqual(seq.Steps[i], par.Steps[i]) {
+			t.Fatalf("step %d diverged:\nseq: %+v\npar: %+v", i, seq.Steps[i], par.Steps[i])
+		}
+	}
+}
+
+// TestSimulateTraceParallelDeterministic: the worker-pool pipeline must
+// produce StepMetrics bit-identical to the sequential path, for every
+// worker count.
+func TestSimulateTraceParallelDeterministic(t *testing.T) {
+	withProcs(t, 4)
+	tr := quickTrace(t)
+	m := DefaultMachine()
+	chooser := func(p partition.Partitioner) func(int, *grid.Hierarchy) partition.Partitioner {
+		return func(step int, h *grid.Hierarchy) partition.Partitioner { return p }
+	}
+	p := partition.NewNatureFable()
+	seq := simulateTrace(tr, chooser(p), 8, m, 1)
+	for _, workers := range []int{2, 3, 8} {
+		par := simulateTrace(tr, chooser(p), 8, m, workers)
+		requireIdentical(t, seq, par)
+	}
+}
+
+// TestSimulateTraceParallelStateful: a stateful partitioner (post-mapped
+// wrapper) must force sequential partitioning and still match the
+// sequential result exactly.
+func TestSimulateTraceParallelStateful(t *testing.T) {
+	withProcs(t, 4)
+	tr := quickTrace(t)
+	m := DefaultMachine()
+	mk := func() partition.Partitioner {
+		return partition.NewPostMapped(&partition.DomainSFC{Curve: sfc.Hilbert, UnitSize: 2})
+	}
+	pSeq, pPar := mk(), mk()
+	seq := simulateTrace(tr, func(int, *grid.Hierarchy) partition.Partitioner { return pSeq }, 8, m, 1)
+	par := simulateTrace(tr, func(int, *grid.Hierarchy) partition.Partitioner { return pPar }, 8, m, 4)
+	requireIdentical(t, seq, par)
+}
+
+// TestSimulateTraceParallelDynamic: the meta-partitioner's per-step
+// selection (stateful chooser, possibly stateful choice) through the
+// public API must match a single-worker run.
+func TestSimulateTraceParallelDynamic(t *testing.T) {
+	withProcs(t, 4)
+	tr := quickTrace(t)
+	m := DefaultMachine()
+	run := func(workers int) *Result {
+		meta := core.NewMetaPartitioner(2e-4)
+		return simulateTrace(tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
+			return meta.Select(h, 1e-3)
+		}, 8, m, workers)
+	}
+	requireIdentical(t, run(1), run(4))
+}

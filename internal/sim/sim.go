@@ -9,12 +9,24 @@
 // configuration at each regrid step is computed using a metric with the
 // components load balance, communication, data migration, and
 // overheads").
+//
+// Architecture: the simulator is built for throughput. Geometry scans
+// (halo imports, inter-level footprints, migration overlap) go through
+// geom.BoxIndex instead of all-pairs intersection, and the per-snapshot
+// work units of a trace run fan out over a bounded worker pool
+// (internal/pool) in four phases — sequential partitioner choice,
+// partitioning (parallel unless a chosen partitioner is stateful),
+// parallel per-step evaluation writing into pre-sized slots by index,
+// and migration chaining over consecutive precomputed assignments. The
+// phases are arranged so the output is bit-identical to a sequential
+// run at any worker count.
 package sim
 
 import (
 	"samr/internal/geom"
 	"samr/internal/grid"
 	"samr/internal/partition"
+	"samr/internal/pool"
 	"samr/internal/trace"
 )
 
@@ -110,22 +122,36 @@ func Evaluate(h *grid.Hierarchy, a *partition.Assignment, m Machine) StepMetrics
 	// transfers between two processors into one message.
 	type pair struct{ dst, src int }
 
+	// One BoxIndex per level over the fragment boxes serves both the
+	// intra-level halo scan (query the grown box) and the level-above
+	// inter-level scan (query the coarsened footprint).
+	indexes := make([]*geom.BoxIndex, len(perLevel))
+	for l, frags := range perLevel {
+		bl := make(geom.BoxList, len(frags))
+		for i, f := range frags {
+			bl[i] = f.Box
+		}
+		indexes[l] = geom.NewBoxIndex(bl)
+	}
+	var buf []int
+
 	// Intra-level ghost exchange: for every fragment, the one-cell halo
 	// cells covered by a different owner's fragment are imported every
-	// local step.
+	// local step. The halo overlap |(Grow(1) \ Box) x g| is computed as
+	// |Grow(1) x g| - |Box x g| (the halo pieces tile exactly that
+	// difference), avoiding the per-pair halo BoxList rebuild.
 	for l, frags := range perLevel {
 		steps := h.StepFactor(l)
 		pairs := map[pair]bool{}
 		for i, f := range frags {
-			halo := geom.BoxList{f.Box.Grow(1)}.SubtractBox(f.Box)
-			for j, g := range frags {
+			grown := f.Box.Grow(1)
+			buf = indexes[l].AppendQuery(buf[:0], grown)
+			for _, j := range buf {
+				g := frags[j]
 				if i == j || f.Owner == g.Owner {
 					continue
 				}
-				var vol int64
-				for _, hb := range halo {
-					vol += hb.Intersect(g.Box).Volume()
-				}
+				vol := grown.Intersect(g.Box).Volume() - f.Box.Intersect(g.Box).Volume()
 				if vol > 0 {
 					sm.IntraLevelComm += vol * steps
 					commPerProc[f.Owner] += vol * steps
@@ -147,7 +173,9 @@ func Evaluate(h *grid.Hierarchy, a *partition.Assignment, m Machine) StepMetrics
 		pairs := map[pair]bool{}
 		for _, f := range perLevel[l] {
 			under := f.Box.Coarsen(h.RefRatio)
-			for _, c := range perLevel[l-1] {
+			buf = indexes[l-1].AppendQuery(buf[:0], under)
+			for _, ci := range buf {
+				c := perLevel[l-1][ci]
 				if f.Owner == c.Owner {
 					continue
 				}
@@ -254,28 +282,84 @@ func SimulateTrace(tr *trace.Trace, p partition.Partitioner, nprocs int, m Machi
 // choice: the hook the meta-partitioner uses to realize fully dynamic
 // PACs (partitioner as a function of application state and time).
 func SimulateTraceSelect(tr *trace.Trace, choose func(step int, h *grid.Hierarchy) partition.Partitioner, nprocs int, m Machine) *Result {
+	return simulateTrace(tr, choose, nprocs, m, pool.Workers())
+}
+
+// stateful reports whether a partitioner carries state between
+// Partition calls. The marker is the Reset method every stateful
+// partitioner (the post-mapping wrapper) already exposes so experiment
+// replays can clear it; stateless partitioners are pure functions of
+// their configuration and may run concurrently, even on a shared
+// instance.
+func stateful(p partition.Partitioner) bool {
+	_, ok := p.(interface{ Reset() })
+	return ok
+}
+
+// simulateTrace is the worker-pool implementation behind
+// SimulateTrace/SimulateTraceSelect. The per-snapshot work units are
+// independent except for two sequential strands, which are preserved
+// exactly: the choose hook may carry classifier state (hysteresis), so
+// it runs in snapshot order up front; and stateful partitioners chain
+// assignments, so partitioning falls back to snapshot order when any
+// chosen partitioner is stateful. Evaluation — the bulk of the cost —
+// always fans out, with each goroutine writing Steps[i] by index, and a
+// cheap sequential-equivalent pass chains the migration metric over the
+// precomputed per-step assignments. The result is bit-identical to the
+// workers=1 path for any worker count.
+func simulateTrace(tr *trace.Trace, choose func(step int, h *grid.Hierarchy) partition.Partitioner, nprocs int, m Machine, workers int) *Result {
 	res := &Result{NumProcs: nprocs}
-	var prevH *grid.Hierarchy
-	var prevA *partition.Assignment
-	for i, snap := range tr.Snapshots {
-		p := choose(snap.Step, snap.H)
-		if i == 0 {
-			res.PartitionerName = p.Name()
-		} else if res.PartitionerName != p.Name() {
-			res.PartitionerName = "dynamic"
-		}
-		a := p.Partition(snap.H, nprocs)
-		sm := Evaluate(snap.H, a, m)
-		sm.Step = snap.Step
-		if prevH != nil {
-			sm.Migration = Migration(prevH, snap.H, prevA, a)
-			if np := prevH.NumPoints(); np > 0 {
-				sm.RelativeMigration = float64(sm.Migration) / float64(np)
-			}
-			sm.EstTime += float64(sm.Migration) / m.MigrationBandwidth
-		}
-		res.Steps = append(res.Steps, sm)
-		prevH, prevA = snap.H, a
+	n := len(tr.Snapshots)
+	if n == 0 {
+		return res
 	}
+
+	// Phase 1 (sequential): per-step partitioner choice.
+	ps := make([]partition.Partitioner, n)
+	anyStateful := false
+	for i, snap := range tr.Snapshots {
+		ps[i] = choose(snap.Step, snap.H)
+		anyStateful = anyStateful || stateful(ps[i])
+	}
+	res.PartitionerName = ps[0].Name()
+	for i := 1; i < n; i++ {
+		if ps[i].Name() != res.PartitionerName {
+			res.PartitionerName = "dynamic"
+			break
+		}
+	}
+
+	// Phase 2: partition every snapshot — concurrently when every
+	// chosen partitioner is a pure function of its configuration.
+	as := make([]*partition.Assignment, n)
+	if anyStateful {
+		for i, snap := range tr.Snapshots {
+			as[i] = ps[i].Partition(snap.H, nprocs)
+		}
+	} else {
+		pool.ForEach(workers, n, func(i int) {
+			as[i] = ps[i].Partition(tr.Snapshots[i].H, nprocs)
+		})
+	}
+
+	// Phase 3 (parallel): evaluate each step into its own slot.
+	res.Steps = make([]StepMetrics, n)
+	pool.ForEach(workers, n, func(i int) {
+		sm := Evaluate(tr.Snapshots[i].H, as[i], m)
+		sm.Step = tr.Snapshots[i].Step
+		res.Steps[i] = sm
+	})
+
+	// Phase 4 (parallel over consecutive pairs): chain the migration
+	// metric over the precomputed assignments.
+	pool.ForEach(workers, n-1, func(j int) {
+		i := j + 1
+		sm := &res.Steps[i]
+		sm.Migration = Migration(tr.Snapshots[i-1].H, tr.Snapshots[i].H, as[i-1], as[i])
+		if np := tr.Snapshots[i-1].H.NumPoints(); np > 0 {
+			sm.RelativeMigration = float64(sm.Migration) / float64(np)
+		}
+		sm.EstTime += float64(sm.Migration) / m.MigrationBandwidth
+	})
 	return res
 }
