@@ -1,0 +1,111 @@
+// Command samrd is the SAMR partitioning-as-a-service daemon: a
+// long-running HTTP server answering meta-partitioner selection,
+// partitioning, and trace-simulation requests, with a content-addressed
+// LRU cache over partitioning results (keyed by hierarchy signature,
+// partitioner, and processor count) so the repeated regrid states of a
+// running SAMR application are served without recomputation.
+//
+// # Quickstart
+//
+// Start the daemon over a trace directory:
+//
+//	mkdir traces
+//	samrd -addr :8347 -traces traces
+//
+// Register a trace by dropping a .trc file into the directory — no
+// restart needed, the registry picks new files up on demand:
+//
+//	samrtrace -app bl2d -o traces/bl2d.trc
+//	curl localhost:8347/v1/traces
+//
+// Ask the meta-partitioner to classify a hierarchy and pick a
+// partitioner:
+//
+//	curl -d '{"hierarchy": {"domain": {"dim": 2, "lo": [0,0], "hi": [32,32]},
+//	          "ref_ratio": 2,
+//	          "levels": [[{"dim": 2, "lo": [0,0], "hi": [32,32]}],
+//	                     [{"dim": 2, "lo": [8,8], "hi": [40,40]}]]}}' \
+//	     localhost:8347/v1/select
+//
+// Run a named partitioner at a processor count (repeat the request and
+// watch the X-Samr-Cache header flip from miss to hit):
+//
+//	curl -i -d '{"hierarchy": {...}, "partitioner": "nature+fable", "nprocs": 16}' \
+//	     localhost:8347/v1/partition
+//
+// Evaluate a partitioner over a registered trace:
+//
+//	curl -d '{"trace": "bl2d", "partitioner": "domain-hilbert-u2", "nprocs": 16}' \
+//	     localhost:8347/v1/simulate
+//
+// Partitioner specs accept family aliases (domain, patch-lpt,
+// nature+fable/hybrid, postmap(...)) as well as the fully configured
+// canonical names the library prints, e.g.
+// "nature+fable-hilbert-u4-q4-whole". Setting "meta": true on
+// /v1/simulate replaces the fixed partitioner with per-step
+// meta-partitioner selection.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"samr/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8347", "listen address")
+		dir   = flag.String("traces", "", "directory of .trc trace files (loaded at startup and on demand)")
+		cache = flag.Int("cache", 256, "partition cache capacity (results)")
+		procs = flag.Int("procs", 16, "default processor count for requests that omit nprocs")
+		cost  = flag.Float64("partition-cost", 2e-4, "classifier partitioning-cost estimate (seconds)")
+	)
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		TraceDir:      *dir,
+		CacheSize:     *cache,
+		DefaultProcs:  *procs,
+		PartitionCost: *cost,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samrd:", err)
+		os.Exit(1)
+	}
+	for _, ti := range s.Registry().List() {
+		log.Printf("samrd: trace %q: app=%s snapshots=%d", ti.Name, ti.App, ti.Snapshots)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Shutdown makes ListenAndServe return immediately, so main must
+	// wait for the drain itself before exiting the process.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx) //nolint:errcheck
+	}()
+
+	log.Printf("samrd: listening on %s (cache %d, default procs %d)", *addr, *cache, *procs)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "samrd:", err)
+		os.Exit(1)
+	}
+	stop()
+	<-drained
+	hits, misses := s.Cache().Stats()
+	log.Printf("samrd: shut down (cache hits %d, misses %d)", hits, misses)
+}

@@ -28,6 +28,16 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate the application name up front (accepting any case) so a
+	// typo fails immediately with the list of valid kernels instead of
+	// deep inside trace generation.
+	name, err := apps.Normalize(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samrtrace:", err)
+		os.Exit(2)
+	}
+	*app = name
+
 	cfg := apps.PaperConfig()
 	if *base > 0 {
 		cfg.BaseSize = *base

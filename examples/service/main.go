@@ -1,0 +1,138 @@
+// The service example drives the samrd partitioning service end to
+// end, in process: it generates a reduced-scale application trace,
+// stands up the server on a loopback listener, and exercises all four
+// endpoints — listing traces, meta-partitioner selection, cached
+// partitioning (showing the miss -> hit flip on a repeated regrid
+// state), and trace-driven simulation.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"samr/internal/apps"
+	"samr/internal/server"
+	"samr/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "service:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A real deployment runs `samrd -traces <dir>` and registers traces
+	// as files; in process we inject the trace directly.
+	tr, err := apps.QuickTrace("TP2D")
+	if err != nil {
+		return err
+	}
+	s, err := server.New(server.Config{DefaultProcs: 8})
+	if err != nil {
+		return err
+	}
+	s.Registry().Register("tp2d-quick", tr)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	fmt.Printf("samrd serving on %s\n\n", ts.URL)
+
+	// GET /v1/traces
+	var traces server.TracesResponse
+	if err := get(ts.URL+"/v1/traces", &traces); err != nil {
+		return err
+	}
+	for _, ti := range traces.Traces {
+		fmt.Printf("trace %-12s app=%s snapshots=%d levels<=%d\n", ti.Name, ti.App, ti.Snapshots, ti.MaxLevels)
+	}
+
+	// POST /v1/select over the first snapshots: the regrid sequence is
+	// classified through one meta-partitioner, hysteresis included.
+	sel := server.SelectRequest{}
+	wire := toWire(tr, 6)
+	sel.Hierarchies = wire
+	var selResp server.SelectResponse
+	if err := post(ts.URL+"/v1/select", sel, &selResp, nil); err != nil {
+		return err
+	}
+	fmt.Println("\nmeta-partitioner selection over the first regrid states:")
+	for i, c := range selResp.Selections {
+		fmt.Printf("  step %2d: dimI=%.3f dimII=%.3f dimIII=%.3f -> %s\n", i, c.DimI, c.DimII, c.DimIII, c.Partitioner)
+	}
+
+	// POST /v1/partition twice with the same hierarchy: the second is a
+	// content-addressed cache hit.
+	preq := server.PartitionRequest{Hierarchy: &wire[len(wire)-1], Partitioner: "nature+fable", NProcs: 8}
+	fmt.Println("\npartitioning the same regrid state twice:")
+	for i := 0; i < 2; i++ {
+		var presp server.PartitionResponse
+		var hdr http.Header
+		if err := post(ts.URL+"/v1/partition", preq, &presp, &hdr); err != nil {
+			return err
+		}
+		r := presp.Results[0]
+		fmt.Printf("  request %d: cache=%-4s sig=%.12s fragments=%d imbalance=%.1f%%\n",
+			i+1, hdr.Get("X-Samr-Cache"), r.Signature, len(r.Fragments), r.Imbalance)
+	}
+
+	// POST /v1/simulate: static partitioner vs meta-partitioner.
+	fmt.Println("\ntrace-driven evaluation over the registered trace:")
+	for _, req := range []server.SimulateRequest{
+		{Trace: "tp2d-quick", Partitioner: "domain-hilbert-u2", NProcs: 8},
+		{Trace: "tp2d-quick", Meta: true, NProcs: 8},
+	} {
+		var sresp server.SimulateResponse
+		if err := post(ts.URL+"/v1/simulate", req, &sresp, nil); err != nil {
+			return err
+		}
+		fmt.Printf("  %-24s estTime=%.4fs meanImbalance=%.1f%%\n", sresp.Partitioner, sresp.TotalEstTime, sresp.MeanImbalance)
+	}
+	return nil
+}
+
+// toWire converts the first n trace snapshots to wire hierarchies.
+func toWire(tr *trace.Trace, n int) []server.Hierarchy {
+	if n > len(tr.Snapshots) {
+		n = len(tr.Snapshots)
+	}
+	out := make([]server.Hierarchy, n)
+	for i := 0; i < n; i++ {
+		out[i] = server.FromHierarchy(tr.Snapshots[i].H)
+	}
+	return out
+}
+
+func get(url string, out any) error {
+	r, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(out)
+}
+
+func post(url string, in, out any, hdr *http.Header) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if hdr != nil {
+		*hdr = r.Header
+	}
+	if r.StatusCode != http.StatusOK {
+		var e server.ErrorResponse
+		json.NewDecoder(r.Body).Decode(&e) //nolint:errcheck
+		return fmt.Errorf("%s: %s (%s)", url, r.Status, e.Error)
+	}
+	return json.NewDecoder(r.Body).Decode(out)
+}

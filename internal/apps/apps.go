@@ -9,6 +9,7 @@ package apps
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"samr/internal/amr"
@@ -19,6 +20,20 @@ import (
 // Names lists the four applications in the paper's presentation order
 // of the result figures (Figures 4-7).
 var Names = []string{"RM2D", "BL2D", "SC2D", "TP2D"}
+
+// Normalize maps a case-insensitive application name to its canonical
+// upper-case form, or reports an error naming the valid kernels. CLIs
+// use it to validate -app flags up front instead of failing deep inside
+// trace generation.
+func Normalize(name string) (string, error) {
+	up := strings.ToUpper(strings.TrimSpace(name))
+	for _, n := range Names {
+		if up == n {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("apps: unknown application %q (valid kernels: %s)", name, strings.Join(Names, ", "))
+}
 
 // Kernel returns the named application kernel.
 func Kernel(name string) (solver.Kernel, error) {

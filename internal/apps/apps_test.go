@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -71,5 +72,23 @@ func TestQuickTraceCached(t *testing.T) {
 	}
 	if a != b {
 		t.Error("QuickTrace should return the cached instance")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	for _, c := range []struct{ in, want string }{
+		{"BL2D", "BL2D"}, {"bl2d", "BL2D"}, {"Tp2d", "TP2D"}, {" rm2d ", "RM2D"}, {"sc2d", "SC2D"},
+	} {
+		got, err := Normalize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("Normalize(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "XY2D", "BL3D"} {
+		if _, err := Normalize(bad); err == nil {
+			t.Errorf("Normalize(%q) should fail", bad)
+		} else if !strings.Contains(err.Error(), "RM2D, BL2D, SC2D, TP2D") {
+			t.Errorf("Normalize(%q) error %q does not list valid kernels", bad, err)
+		}
 	}
 }

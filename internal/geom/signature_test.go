@@ -1,0 +1,66 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSignatureDeterministicAndCloneStable(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		bl := randomBoxList(r, 1+r.Intn(40))
+		if trial%2 == 1 {
+			bl = randomBoxList3(r, 1+r.Intn(40))
+		}
+		sig := bl.Signature()
+		if sig != bl.Signature() {
+			t.Fatal("signature not deterministic")
+		}
+		if got := bl.Clone().Signature(); got != sig {
+			t.Fatalf("clone signature %s != original %s", got, sig)
+		}
+	}
+}
+
+func TestSignatureSensitivity(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 50; trial++ {
+		bl := randomBoxList(r, 2+r.Intn(40))
+		sig := bl.Signature()
+
+		// Mutating any coordinate of any box changes the hash.
+		mut := bl.Clone()
+		i := r.Intn(len(mut))
+		if r.Intn(2) == 0 {
+			mut[i].Lo[r.Intn(2)]--
+		} else {
+			mut[i].Hi[r.Intn(2)]++
+		}
+		if mut.Signature() == sig {
+			t.Fatalf("coordinate mutation of box %d kept signature %s", i, sig)
+		}
+
+		// Dropping or appending a box changes the hash.
+		if bl[:len(bl)-1].Signature() == sig {
+			t.Fatal("truncated list kept signature")
+		}
+		if append(bl.Clone(), randomBox(r)).Signature() == sig {
+			t.Fatal("extended list kept signature")
+		}
+	}
+}
+
+func TestSignatureOrderAndDimMatter(t *testing.T) {
+	a, b := NewBox2(0, 0, 4, 4), NewBox2(8, 8, 12, 12)
+	if (BoxList{a, b}).Signature() == (BoxList{b, a}).Signature() {
+		t.Error("box order should change the signature")
+	}
+	// A 2-D box and its z-degenerate 3-D twin cover the same cells but
+	// are structurally distinct.
+	if (BoxList{NewBox2(0, 0, 4, 4)}).Signature() == (BoxList{NewBox3(0, 0, 0, 4, 4, 1)}).Signature() {
+		t.Error("dimensionality should change the signature")
+	}
+	if (BoxList{}).Signature() == (BoxList{{Dim: 2}}).Signature() {
+		t.Error("empty list and list of one empty box should differ")
+	}
+}

@@ -6,6 +6,8 @@
 package grid
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"samr/internal/geom"
@@ -114,6 +116,24 @@ func (h *Hierarchy) RefinedFootprint() geom.BoxList {
 		out = append(out, h.Footprint(l)...)
 	}
 	return out
+}
+
+// Signature returns a deterministic content hash of the hierarchy:
+// domain, refinement ratio, and every level's box list in order. Equal
+// signatures mean structurally identical hierarchies, which is what
+// makes the hash usable as a partition-cache key — a partitioner's
+// output is a pure function of (hierarchy structure, nprocs).
+func (h *Hierarchy) Signature() geom.Signature {
+	buf := geom.BoxList{h.Domain}.AppendEncoding(nil)
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(int64(h.RefRatio)))
+	buf = append(buf, w[:]...)
+	binary.LittleEndian.PutUint64(w[:], uint64(len(h.Levels)))
+	buf = append(buf, w[:]...)
+	for _, l := range h.Levels {
+		buf = l.Boxes.AppendEncoding(buf)
+	}
+	return geom.Signature(sha256.Sum256(buf))
 }
 
 // Clone returns a deep copy of the hierarchy.

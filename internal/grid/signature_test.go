@@ -1,0 +1,90 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"samr/internal/geom"
+)
+
+// randomHierarchy (from hierarchy_test.go) supplies valid nested
+// hierarchies; the signature only needs structure, validity comes free.
+
+func TestHierarchySignatureCloneInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		h := randomHierarchy(r)
+		sig := h.Signature()
+		if sig != h.Signature() {
+			t.Fatal("signature not deterministic")
+		}
+		if got := h.Clone().Signature(); got != sig {
+			t.Fatalf("trial %d: Clone() signature %s != %s", trial, got, sig)
+		}
+	}
+}
+
+func TestHierarchySignatureMutationSensitivity(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	mutations := []struct {
+		name string
+		f    func(h *Hierarchy, r *rand.Rand)
+	}{
+		{"box coordinate", func(h *Hierarchy, r *rand.Rand) {
+			l := r.Intn(len(h.Levels))
+			for len(h.Levels[l].Boxes) == 0 {
+				l = r.Intn(len(h.Levels))
+			}
+			b := r.Intn(len(h.Levels[l].Boxes))
+			h.Levels[l].Boxes[b].Hi[r.Intn(2)]++
+		}},
+		{"drop box", func(h *Hierarchy, r *rand.Rand) {
+			l := r.Intn(len(h.Levels))
+			for len(h.Levels[l].Boxes) == 0 {
+				l = r.Intn(len(h.Levels))
+			}
+			h.Levels[l].Boxes = h.Levels[l].Boxes[:len(h.Levels[l].Boxes)-1]
+		}},
+		{"add box", func(h *Hierarchy, r *rand.Rand) {
+			l := r.Intn(len(h.Levels))
+			h.Levels[l].Boxes = append(h.Levels[l].Boxes, geom.NewBox2(0, 0, 1, 1))
+		}},
+		{"add level", func(h *Hierarchy, r *rand.Rand) {
+			h.Levels = append(h.Levels, Level{})
+		}},
+		{"drop level", func(h *Hierarchy, r *rand.Rand) {
+			h.Levels = h.Levels[:len(h.Levels)-1]
+		}},
+		{"refine ratio", func(h *Hierarchy, r *rand.Rand) {
+			h.RefRatio = 4
+		}},
+		{"domain", func(h *Hierarchy, r *rand.Rand) {
+			h.Domain.Hi[0]++
+		}},
+	}
+	for trial := 0; trial < 40; trial++ {
+		for _, m := range mutations {
+			h := randomHierarchy(r)
+			sig := h.Signature()
+			mut := h.Clone()
+			m.f(mut, r)
+			if mut.Signature() == sig {
+				t.Fatalf("trial %d: mutation %q kept signature %s (h=%v)", trial, m.name, sig, h)
+			}
+		}
+	}
+}
+
+func TestHierarchySignatureLevelBoundariesMatter(t *testing.T) {
+	// Moving a box between adjacent levels must change the signature even
+	// though the flat box sequence is identical (the length headers in
+	// the encoding prevent aliasing).
+	a := NewHierarchy(geom.NewBox2(0, 0, 8, 8), 2)
+	a.Levels = append(a.Levels, Level{Boxes: geom.BoxList{geom.NewBox2(0, 0, 4, 4)}}, Level{})
+	b := a.Clone()
+	b.Levels[1].Boxes = nil
+	b.Levels[2].Boxes = geom.BoxList{geom.NewBox2(0, 0, 4, 4)}
+	if a.Signature() == b.Signature() {
+		t.Error("level placement should change the signature")
+	}
+}

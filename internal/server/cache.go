@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"samr/internal/geom"
+	"samr/internal/partition"
+)
+
+// CacheKey addresses one partitioning result: the content hash of the
+// hierarchy plus the canonical partitioner name and processor count.
+// Because every partitioner the server runs is a fresh instance (pure
+// function of its spec), equal keys imply equal results — the property
+// that makes the cache content-addressed rather than merely memoizing.
+type CacheKey struct {
+	Sig         geom.Signature
+	Partitioner string
+	NProcs      int
+}
+
+// PartitionCache is a bounded LRU of partitioning results shared by
+// every request the server handles. Stored assignments are treated as
+// immutable by all readers.
+type PartitionCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	items map[CacheKey]*list.Element
+
+	hits, misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key CacheKey
+	a   *partition.Assignment
+}
+
+// NewPartitionCache returns a cache holding at most capacity results
+// (minimum 1).
+func NewPartitionCache(capacity int) *PartitionCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PartitionCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[CacheKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached assignment for k, updating recency and the
+// hit/miss counters.
+func (c *PartitionCache) Get(k CacheKey) (*partition.Assignment, bool) {
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).a, true
+}
+
+// Add stores a (idempotently: a concurrent duplicate compute simply
+// refreshes the entry) and evicts the least recently used entry past
+// capacity.
+func (c *PartitionCache) Add(k CacheKey, a *partition.Assignment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).a = a
+		return
+	}
+	c.items[k] = c.order.PushFront(&cacheEntry{key: k, a: a})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *PartitionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *PartitionCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"samr/internal/trace"
+)
+
+// TraceRegistry holds the named traces the /v1/simulate endpoint can
+// replay. Traces come from `.trc` files (the samrtrace binary format)
+// in a configured directory: everything present is loaded at startup,
+// and a request for a name not yet loaded falls through to the
+// directory again, so dropping a new file in is enough to register it —
+// no restart, no upload endpoint.
+type TraceRegistry struct {
+	dir string
+
+	mu     sync.RWMutex
+	traces map[string]*trace.Trace
+}
+
+// NewTraceRegistry returns a registry over dir (may be empty for a
+// purely in-memory registry).
+func NewTraceRegistry(dir string) *TraceRegistry {
+	return &TraceRegistry{dir: dir, traces: make(map[string]*trace.Trace)}
+}
+
+// LoadDir scans the directory and loads every .trc file not already
+// registered. It returns the names loaded by this call. A file that
+// fails to load is logged and skipped — one corrupt trace must not take
+// down a daemon serving the healthy ones — while a missing or
+// unreadable directory is an error.
+func (r *TraceRegistry) LoadDir() ([]string, error) {
+	if r.dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace dir: %w", err)
+	}
+	var loaded []string
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".trc")
+		if !ok || e.IsDir() {
+			continue
+		}
+		r.mu.RLock()
+		_, have := r.traces[name]
+		r.mu.RUnlock()
+		if have {
+			continue
+		}
+		if err := r.loadFile(name); err != nil {
+			log.Printf("server: skipping %s.trc: %v", name, err)
+			continue
+		}
+		loaded = append(loaded, name)
+	}
+	return loaded, nil
+}
+
+// loadFile reads dir/<name>.trc, validates it, and registers it.
+func (r *TraceRegistry) loadFile(name string) error {
+	f, err := os.Open(filepath.Join(r.dir, name+".trc"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return fmt.Errorf("trace %q: %w", name, err)
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trace %q: %w", name, err)
+	}
+	r.Register(name, tr)
+	return nil
+}
+
+// Register adds (or replaces) a trace under the given name.
+func (r *TraceRegistry) Register(name string, tr *trace.Trace) {
+	r.mu.Lock()
+	r.traces[name] = tr
+	r.mu.Unlock()
+}
+
+// Get returns the named trace, trying an on-demand directory load if it
+// is not registered yet. The boolean reports success.
+func (r *TraceRegistry) Get(name string) (*trace.Trace, bool) {
+	r.mu.RLock()
+	tr, ok := r.traces[name]
+	r.mu.RUnlock()
+	if ok {
+		return tr, true
+	}
+	// On-demand path: a well-formed name may have appeared in the
+	// directory after startup.
+	if r.dir == "" || name == "" || name != filepath.Base(name) || strings.ContainsAny(name, "/\\") {
+		return nil, false
+	}
+	if err := r.loadFile(name); err != nil {
+		// A present-but-corrupt file would otherwise be indistinguishable
+		// from a missing one (both surface as 404 to the client).
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("server: trace %q unavailable: %v", name, err)
+		}
+		return nil, false
+	}
+	r.mu.RLock()
+	tr, ok = r.traces[name]
+	r.mu.RUnlock()
+	return tr, ok
+}
+
+// List describes every registered trace, name-sorted, after picking up
+// any files newly dropped into the directory.
+func (r *TraceRegistry) List() []TraceInfo {
+	r.LoadDir() //nolint:errcheck // listing proceeds with what loaded
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]TraceInfo, 0, len(r.traces))
+	for name, tr := range r.traces {
+		out = append(out, TraceInfo{
+			Name:      name,
+			App:       tr.App,
+			RefRatio:  tr.RefRatio,
+			MaxLevels: tr.MaxLevels,
+			Snapshots: tr.Len(),
+			Domain:    fromGeomBox(tr.Domain),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

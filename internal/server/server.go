@@ -1,0 +1,344 @@
+// Package server is the partitioning-as-a-service layer: an HTTP JSON
+// API over the repo's meta-partitioner, partitioner suite, and
+// trace-driven simulator, built for long-running deployment (the
+// ROADMAP's production-scale service) rather than batch CLI use.
+//
+// Endpoints:
+//
+//	POST /v1/select     classify hierarchies, return the meta-partitioner choice
+//	POST /v1/partition  run a named partitioner at a processor count
+//	POST /v1/simulate   trace-driven evaluation over a registered trace
+//	GET  /v1/traces     list the trace registry
+//	GET  /healthz       liveness
+//
+// Two properties make it a service rather than an RPC wrapper: results
+// of /v1/partition are kept in a content-addressed LRU cache keyed by
+// (hierarchy signature, partitioner, nprocs), so the repeated regrid
+// states real SAMR runs produce are answered without recomputation; and
+// batch work fans out over the process-wide internal/pool budget, so
+// concurrent requests share the machine instead of oversubscribing it.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"samr/internal/core"
+	"samr/internal/grid"
+	"samr/internal/partition"
+	"samr/internal/pool"
+	"samr/internal/sim"
+)
+
+// Config carries the server's tunables; zero values select defaults.
+type Config struct {
+	// TraceDir is scanned for .trc files (empty = no file-backed traces).
+	TraceDir string
+	// CacheSize bounds the partition cache (results; default 256).
+	CacheSize int
+	// DefaultProcs is the processor count used when a request omits
+	// nprocs (default 16, the paper's validation setup).
+	DefaultProcs int
+	// MaxProcs rejects absurd processor counts (default 1 << 16).
+	MaxProcs int
+	// PartitionCost seeds the dimension-II classification model
+	// (seconds per repartitioning; default 2e-4).
+	PartitionCost float64
+	// Machine is the simulator's machine model (zero = DefaultMachine).
+	Machine sim.Machine
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultProcs <= 0 {
+		c.DefaultProcs = 16
+	}
+	if c.MaxProcs <= 0 {
+		c.MaxProcs = 1 << 16
+	}
+	if c.PartitionCost <= 0 {
+		c.PartitionCost = 2e-4
+	}
+	if c.Machine == (sim.Machine{}) {
+		c.Machine = sim.DefaultMachine()
+	}
+	return c
+}
+
+// maxBodyBytes bounds request bodies; deep hierarchies are a few MB of
+// JSON, so 64 MB leaves ample headroom without inviting abuse.
+const maxBodyBytes = 64 << 20
+
+// Server is the samrd HTTP service.
+type Server struct {
+	cfg      Config
+	cache    *PartitionCache
+	registry *TraceRegistry
+	mux      *http.ServeMux
+}
+
+// New builds a server, loading every trace already present in
+// cfg.TraceDir. A missing or unreadable directory is an error; an empty
+// TraceDir is not.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewPartitionCache(cfg.CacheSize),
+		registry: NewTraceRegistry(cfg.TraceDir),
+	}
+	if _, err := s.registry.LoadDir(); err != nil {
+		return nil, err
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
+	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	return s, nil
+}
+
+// Registry exposes the trace registry (the daemon registers generated
+// traces, tests inject synthetic ones).
+func (s *Server) Registry() *TraceRegistry { return s.registry }
+
+// Cache exposes the partition cache for stats reporting.
+func (s *Server) Cache() *PartitionCache { return s.cache }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is client's problem
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// gatherHierarchies merges the single/batch forms of a request into one
+// ordered slice of validated hierarchies.
+func gatherHierarchies(single *Hierarchy, batch []Hierarchy) ([]*grid.Hierarchy, error) {
+	ws := batch
+	if single != nil {
+		ws = append([]Hierarchy{*single}, batch...)
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("request carries no hierarchy")
+	}
+	out := make([]*grid.Hierarchy, len(ws))
+	for i, w := range ws {
+		h, err := w.toGrid()
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy %d: %w", i, err)
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+func (s *Server) checkProcs(w http.ResponseWriter, nprocs *int) bool {
+	if *nprocs == 0 {
+		*nprocs = s.cfg.DefaultProcs
+	}
+	if *nprocs < 1 || *nprocs > s.cfg.MaxProcs {
+		writeErr(w, http.StatusBadRequest, "nprocs %d out of range [1, %d]", *nprocs, s.cfg.MaxProcs)
+		return false
+	}
+	return true
+}
+
+// handleSelect classifies the submitted hierarchies in order through a
+// fresh meta-partitioner, so a posted regrid sequence reproduces the
+// in-process hysteresis behavior exactly.
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	hs, err := gatherHierarchies(req.Hierarchy, req.Hierarchies)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.checkProcs(w, &req.NProcs) {
+		return
+	}
+	cost := req.PartitionCost
+	if cost <= 0 {
+		cost = s.cfg.PartitionCost
+	}
+	meta := core.NewMetaPartitioner(cost)
+	resp := SelectResponse{Selections: make([]Selection, len(hs))}
+	for i, h := range hs {
+		slot := float64(h.Workload()) * s.cfg.Machine.CellTime / float64(req.NProcs)
+		p := meta.Select(h, slot)
+		sample, _ := meta.LastSample()
+		resp.Selections[i] = selectionFrom(p, sample)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePartition runs the requested partitioner over every submitted
+// hierarchy, fanning the batch out over the shared worker pool and
+// serving repeated regrid states from the content-addressed cache.
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	var req PartitionRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	canonical, err := ParsePartitioner(req.Partitioner)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hs, err := gatherHierarchies(req.Hierarchy, req.Hierarchies)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.checkProcs(w, &req.NProcs) {
+		return
+	}
+
+	name := canonical.Name()
+	results := make([]PartitionResult, len(hs))
+	pool.ForEach(pool.Workers(), len(hs), func(i int) {
+		h := hs[i]
+		key := CacheKey{Sig: h.Signature(), Partitioner: name, NProcs: req.NProcs}
+		a, cached := s.cache.Get(key)
+		if !cached {
+			// A fresh instance per unit keeps stateful wrappers
+			// (postmap) from sharing state across goroutines and keeps
+			// every cached result a pure function of its key. The spec
+			// already parsed once, so this cannot fail.
+			p, _ := ParsePartitioner(req.Partitioner)
+			a = p.Partition(h, req.NProcs)
+			s.cache.Add(key, a)
+		}
+		res := PartitionResult{
+			Signature:   key.Sig.String(),
+			Partitioner: name,
+			NProcs:      req.NProcs,
+			Fragments:   make([]Fragment, len(a.Fragments)),
+			Loads:       a.Loads(h),
+			Imbalance:   a.Imbalance(h),
+			Cached:      cached,
+		}
+		for j, f := range a.Fragments {
+			res.Fragments[j] = Fragment{Level: f.Level, Box: fromGeomBox(f.Box), Owner: f.Owner}
+		}
+		results[i] = res
+	})
+
+	// Cache headers: the per-request disposition plus the cumulative
+	// process-wide counters, so operators (and the acceptance test) can
+	// watch hit rates without a metrics endpoint.
+	nHit := 0
+	for _, res := range results {
+		if res.Cached {
+			nHit++
+		}
+	}
+	disposition := "miss"
+	switch nHit {
+	case len(results):
+		disposition = "hit"
+	case 0:
+	default:
+		disposition = "mixed"
+	}
+	hits, misses := s.cache.Stats()
+	hdr := w.Header()
+	hdr.Set("X-Samr-Cache", disposition)
+	hdr.Set("X-Samr-Cache-Hits", strconv.FormatUint(hits, 10))
+	hdr.Set("X-Samr-Cache-Misses", strconv.FormatUint(misses, 10))
+	if len(results) == 1 {
+		hdr.Set("X-Samr-Signature", results[0].Signature)
+	}
+	writeJSON(w, http.StatusOK, PartitionResponse{Results: results})
+}
+
+// handleSimulate replays a registered trace through the simulator
+// (whose pipeline already fans out over the shared pool).
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	tr, ok := s.registry.Get(req.Trace)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown trace %q", req.Trace)
+		return
+	}
+	if !s.checkProcs(w, &req.NProcs) {
+		return
+	}
+	if req.Steps > 0 && req.Steps < len(tr.Snapshots) {
+		trunc := *tr
+		trunc.Snapshots = tr.Snapshots[:req.Steps]
+		tr = &trunc
+	}
+
+	var res *sim.Result
+	if req.Meta {
+		meta := core.NewMetaPartitioner(s.cfg.PartitionCost)
+		res = sim.SimulateTraceSelect(tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
+			slot := float64(h.Workload()) * s.cfg.Machine.CellTime / float64(req.NProcs)
+			return meta.Select(h, slot)
+		}, req.NProcs, s.cfg.Machine)
+	} else {
+		p, err := ParsePartitioner(req.Partitioner)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		res = sim.SimulateTrace(tr, p, req.NProcs, s.cfg.Machine)
+	}
+
+	resp := SimulateResponse{
+		Trace:         req.Trace,
+		Partitioner:   res.PartitionerName,
+		NProcs:        res.NumProcs,
+		Snapshots:     len(res.Steps),
+		TotalEstTime:  res.TotalEstTime(),
+		MeanImbalance: res.MeanImbalance(),
+	}
+	if req.IncludeSteps {
+		resp.Steps = make([]StepMetrics, len(res.Steps))
+		for i, sm := range res.Steps {
+			resp.Steps[i] = stepMetricsFrom(sm)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: s.registry.List()})
+}

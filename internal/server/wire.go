@@ -1,0 +1,253 @@
+package server
+
+import (
+	"fmt"
+
+	"samr/internal/core"
+	"samr/internal/geom"
+	"samr/internal/grid"
+	"samr/internal/partition"
+	"samr/internal/sim"
+)
+
+// Wire types: the JSON request/response surface of the samrd API. The
+// geometry encoding is deliberately explicit (dim + lo/hi component
+// arrays) so clients in any language can produce it without knowing the
+// internal IntVect padding convention.
+
+// Box is the wire form of geom.Box: lo inclusive, hi exclusive, dim 2
+// or 3. Lo and Hi carry exactly dim components.
+type Box struct {
+	Dim int   `json:"dim"`
+	Lo  []int `json:"lo"`
+	Hi  []int `json:"hi"`
+}
+
+// Hierarchy is the wire form of grid.Hierarchy.
+type Hierarchy struct {
+	Domain   Box     `json:"domain"`
+	RefRatio int     `json:"ref_ratio"`
+	Levels   [][]Box `json:"levels"`
+}
+
+// Fragment is the wire form of partition.Fragment.
+type Fragment struct {
+	Level int `json:"level"`
+	Box   Box `json:"box"`
+	Owner int `json:"owner"`
+}
+
+func fromGeomBox(b geom.Box) Box {
+	w := Box{Dim: b.Dim, Lo: make([]int, b.Dim), Hi: make([]int, b.Dim)}
+	for d := 0; d < b.Dim; d++ {
+		w.Lo[d], w.Hi[d] = b.Lo[d], b.Hi[d]
+	}
+	return w
+}
+
+func (w Box) toGeom() (geom.Box, error) {
+	if w.Dim != 2 && w.Dim != 3 {
+		return geom.Box{}, fmt.Errorf("box dim must be 2 or 3, got %d", w.Dim)
+	}
+	if len(w.Lo) != w.Dim || len(w.Hi) != w.Dim {
+		return geom.Box{}, fmt.Errorf("box lo/hi must carry %d components, got %d/%d", w.Dim, len(w.Lo), len(w.Hi))
+	}
+	b := geom.Box{Dim: w.Dim}
+	for d := 0; d < geom.MaxDim; d++ {
+		b.Lo[d], b.Hi[d] = 0, 1 // padding convention for unused axes
+	}
+	for d := 0; d < w.Dim; d++ {
+		b.Lo[d], b.Hi[d] = w.Lo[d], w.Hi[d]
+	}
+	return b, nil
+}
+
+// FromHierarchy converts an in-process hierarchy to its wire form; Go
+// clients (and the examples) use it to build requests without hand-
+// rolling the JSON geometry encoding.
+func FromHierarchy(h *grid.Hierarchy) Hierarchy { return fromGridHierarchy(h) }
+
+func fromGridHierarchy(h *grid.Hierarchy) Hierarchy {
+	w := Hierarchy{Domain: fromGeomBox(h.Domain), RefRatio: h.RefRatio}
+	w.Levels = make([][]Box, len(h.Levels))
+	for l, lev := range h.Levels {
+		w.Levels[l] = make([]Box, len(lev.Boxes))
+		for i, b := range lev.Boxes {
+			w.Levels[l][i] = fromGeomBox(b)
+		}
+	}
+	return w
+}
+
+// toGrid converts and structurally validates a submitted hierarchy.
+func (w Hierarchy) toGrid() (*grid.Hierarchy, error) {
+	dom, err := w.Domain.toGeom()
+	if err != nil {
+		return nil, fmt.Errorf("domain: %w", err)
+	}
+	h := &grid.Hierarchy{Domain: dom, RefRatio: w.RefRatio}
+	for l, lev := range w.Levels {
+		boxes := make(geom.BoxList, len(lev))
+		for i, wb := range lev {
+			if boxes[i], err = wb.toGeom(); err != nil {
+				return nil, fmt.Errorf("level %d box %d: %w", l, i, err)
+			}
+		}
+		h.Levels = append(h.Levels, grid.Level{Boxes: boxes})
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// SelectRequest submits one hierarchy — or an ordered sequence of them —
+// for meta-partitioner classification. A sequence is classified in
+// order through one classifier, so the hysteresis and history state
+// behave exactly as in an in-process run.
+type SelectRequest struct {
+	Hierarchy   *Hierarchy  `json:"hierarchy,omitempty"`
+	Hierarchies []Hierarchy `json:"hierarchies,omitempty"`
+	// NProcs sizes the per-step time slot estimate; defaults to the
+	// server's configured processor count.
+	NProcs int `json:"nprocs,omitempty"`
+	// PartitionCost (seconds per repartitioning) seeds the dimension-II
+	// model; 0 uses the server default.
+	PartitionCost float64 `json:"partition_cost,omitempty"`
+}
+
+// Selection is the outcome of classifying one hierarchy.
+type Selection struct {
+	Partitioner string  `json:"partitioner"`
+	DimI        float64 `json:"dim_i"`
+	DimII       float64 `json:"dim_ii"`
+	DimIII      float64 `json:"dim_iii"`
+	SizeNorm    float64 `json:"size_norm"`
+	Points      int64   `json:"points"`
+}
+
+// SelectResponse returns one Selection per submitted hierarchy, in
+// order.
+type SelectResponse struct {
+	Selections []Selection `json:"selections"`
+}
+
+func selectionFrom(p partition.Partitioner, s core.Sample) Selection {
+	return Selection{
+		Partitioner: p.Name(),
+		DimI:        s.DimI,
+		DimII:       s.DimII,
+		DimIII:      s.DimIII,
+		SizeNorm:    s.SizeNorm,
+		Points:      s.Points,
+	}
+}
+
+// PartitionRequest asks for a named partitioner to decompose one
+// hierarchy (or a batch) over nprocs processors.
+type PartitionRequest struct {
+	Hierarchy   *Hierarchy  `json:"hierarchy,omitempty"`
+	Hierarchies []Hierarchy `json:"hierarchies,omitempty"`
+	// Partitioner is a spec accepted by ParsePartitioner (e.g.
+	// "domain", "domain-morton-u4", "nature+fable", "patch-lpt",
+	// "postmap(domain-hilbert-u2)").
+	Partitioner string `json:"partitioner"`
+	NProcs      int    `json:"nprocs"`
+}
+
+// PartitionResult is the decomposition of one hierarchy.
+type PartitionResult struct {
+	// Signature is the content hash of the submitted hierarchy — the
+	// cache address of this result.
+	Signature string `json:"signature"`
+	// Partitioner is the canonical name of the partitioner that ran
+	// (may differ from the request spec, e.g. "domain" expands to
+	// "domain-hilbert-u2").
+	Partitioner string     `json:"partitioner"`
+	NProcs      int        `json:"nprocs"`
+	Fragments   []Fragment `json:"fragments"`
+	Loads       []int64    `json:"loads"`
+	Imbalance   float64    `json:"imbalance"`
+	// Cached reports whether this result was served from the partition
+	// cache.
+	Cached bool `json:"cached"`
+}
+
+// PartitionResponse returns one result per submitted hierarchy.
+type PartitionResponse struct {
+	Results []PartitionResult `json:"results"`
+}
+
+// SimulateRequest asks for a trace-driven evaluation of a partitioner
+// over a registered trace.
+type SimulateRequest struct {
+	// Trace names a trace in the server's registry.
+	Trace       string `json:"trace"`
+	Partitioner string `json:"partitioner"`
+	NProcs      int    `json:"nprocs"`
+	// Meta switches per-step partitioner choice to the meta-partitioner
+	// (Partitioner is then ignored).
+	Meta bool `json:"meta,omitempty"`
+	// Steps truncates the simulation to the first N snapshots (0 = all).
+	Steps int `json:"steps,omitempty"`
+	// IncludeSteps adds the per-step metric rows to the response.
+	IncludeSteps bool `json:"include_steps,omitempty"`
+}
+
+// StepMetrics is the wire form of sim.StepMetrics (loads elided).
+type StepMetrics struct {
+	Step              int     `json:"step"`
+	Imbalance         float64 `json:"imbalance"`
+	IntraLevelComm    int64   `json:"intra_level_comm"`
+	InterLevelComm    int64   `json:"inter_level_comm"`
+	Messages          int64   `json:"messages"`
+	RelativeComm      float64 `json:"relative_comm"`
+	Migration         int64   `json:"migration"`
+	RelativeMigration float64 `json:"relative_migration"`
+	EstTime           float64 `json:"est_time"`
+}
+
+// SimulateResponse summarizes a trace simulation.
+type SimulateResponse struct {
+	Trace         string        `json:"trace"`
+	Partitioner   string        `json:"partitioner"`
+	NProcs        int           `json:"nprocs"`
+	Snapshots     int           `json:"snapshots"`
+	TotalEstTime  float64       `json:"total_est_time"`
+	MeanImbalance float64       `json:"mean_imbalance"`
+	Steps         []StepMetrics `json:"steps,omitempty"`
+}
+
+func stepMetricsFrom(s sim.StepMetrics) StepMetrics {
+	return StepMetrics{
+		Step:              s.Step,
+		Imbalance:         s.Imbalance,
+		IntraLevelComm:    s.IntraLevelComm,
+		InterLevelComm:    s.InterLevelComm,
+		Messages:          s.Messages,
+		RelativeComm:      s.RelativeComm,
+		Migration:         s.Migration,
+		RelativeMigration: s.RelativeMigration,
+		EstTime:           s.EstTime,
+	}
+}
+
+// TraceInfo describes one registered trace.
+type TraceInfo struct {
+	Name      string `json:"name"`
+	App       string `json:"app"`
+	RefRatio  int    `json:"ref_ratio"`
+	MaxLevels int    `json:"max_levels"`
+	Snapshots int    `json:"snapshots"`
+	Domain    Box    `json:"domain"`
+}
+
+// TracesResponse lists the registry contents.
+type TracesResponse struct {
+	Traces []TraceInfo `json:"traces"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
