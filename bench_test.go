@@ -12,6 +12,7 @@
 package samr_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -40,7 +41,10 @@ func BenchmarkFig1BL2DDynamicBehavior(b *testing.B) {
 	tr := paperTrace(b, "BL2D")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f := experiments.Fig1(tr, experiments.DefaultProcs)
+		f, err := experiments.Fig1(context.Background(), tr, experiments.DefaultProcs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(f.Steps) != tr.Len() {
 			b.Fatal("figure truncated")
 		}
@@ -52,7 +56,10 @@ func benchModelVsActual(b *testing.B, app string) {
 	tr := paperTrace(b, app)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		v := experiments.FigModelVsActual(tr, experiments.DefaultProcs)
+		v, err := experiments.FigModelVsActual(context.Background(), tr, experiments.DefaultProcs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if v.Mig == nil || v.Comm == nil {
 			b.Fatal("missing panels")
 		}
@@ -77,7 +84,10 @@ func BenchmarkClassificationTrajectory(b *testing.B) {
 	tr := paperTrace(b, "BL2D")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f := experiments.ClassificationTrajectory(tr, experiments.DefaultProcs)
+		f, err := experiments.ClassificationTrajectory(context.Background(), tr, experiments.DefaultProcs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(f.Data) != 4 {
 			b.Fatal("bad trajectory")
 		}
@@ -94,7 +104,9 @@ func BenchmarkAblationMigrationDenominator(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, tr := range trs {
-			experiments.AblationDenominator(tr, experiments.DefaultProcs)
+			if _, err := experiments.AblationDenominator(context.Background(), tr, experiments.DefaultProcs); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
@@ -106,7 +118,10 @@ func BenchmarkAblationPartitionerFamilies(b *testing.B) {
 	tr := paperTrace(b, "BL2D")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		t := experiments.AblationPartitioners(tr, experiments.DefaultProcs)
+		t, err := experiments.AblationPartitioners(context.Background(), tr, experiments.DefaultProcs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(t.Rows) != 6 {
 			b.Fatal("bad table")
 		}
@@ -119,7 +134,10 @@ func BenchmarkMetaPartitionerVsStatic(b *testing.B) {
 	tr := paperTrace(b, "BL2D")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		t := experiments.MetaVsStatic(tr, experiments.DefaultProcs)
+		t, err := experiments.MetaVsStatic(context.Background(), tr, experiments.DefaultProcs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(t.Rows) != 6 {
 			b.Fatal("bad table")
 		}
@@ -132,7 +150,10 @@ func BenchmarkAblationAbsoluteImportance(b *testing.B) {
 	tr := paperTrace(b, "SC2D")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f := experiments.AblationAbsoluteImportance(tr, experiments.DefaultProcs)
+		f, err := experiments.AblationAbsoluteImportance(context.Background(), tr, experiments.DefaultProcs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(f.Data) != 3 {
 			b.Fatal("bad figure")
 		}
@@ -146,7 +167,10 @@ func BenchmarkAblationPostMapping(b *testing.B) {
 	tr := paperTrace(b, "TP2D")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		t := experiments.AblationPostMapping(tr, experiments.DefaultProcs)
+		t, err := experiments.AblationPostMapping(context.Background(), tr, experiments.DefaultProcs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(t.Rows) != 4 {
 			b.Fatal("bad table")
 		}
@@ -187,7 +211,10 @@ func BenchmarkSimulateTraceParallel(b *testing.B) {
 	m := sim.DefaultMachine()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := sim.SimulateTrace(tr, partition.NewNatureFable(), experiments.DefaultProcs, m)
+		res, err := sim.SimulateTrace(context.Background(), tr, partition.NewNatureFable(), experiments.DefaultProcs, m)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(res.Steps) != tr.Len() {
 			b.Fatal("truncated result")
 		}

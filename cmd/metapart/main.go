@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"samr/internal/apps"
 	"samr/internal/core"
@@ -30,6 +33,8 @@ func main() {
 		quick  = flag.Bool("quick", false, "use the reduced-scale trace")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var tr *trace.Trace
 	var err error
@@ -62,5 +67,10 @@ func main() {
 			snap.Step, s.DimI, s.DimII, s.DimIII, s.SizeNorm, s.Points, p.Name())
 	}
 	fmt.Println()
-	experiments.MetaVsStatic(tr, *procs).Print(os.Stdout)
+	tb, err := experiments.MetaVsStatic(ctx, tr, *procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metapart:", err)
+		os.Exit(1)
+	}
+	tb.Print(os.Stdout)
 }

@@ -21,9 +21,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"samr/internal/apps"
 	"samr/internal/experiments"
@@ -39,7 +42,12 @@ func main() {
 		format = flag.String("format", "table", "figure output format: table or csv")
 	)
 	flag.Parse()
-	if err := run(*exp, *procs, *quick, *trPath, *format == "csv"); err != nil {
+	// Ctrl-C cancels the context; the cancellation threads through the
+	// experiment pipeline into every partitioner, which aborts mid-batch
+	// instead of running the remaining figures to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *exp, *procs, *quick, *trPath, *format == "csv"); err != nil {
 		fmt.Fprintln(os.Stderr, "samrbench:", err)
 		os.Exit(1)
 	}
@@ -62,7 +70,7 @@ var figApps = map[string]string{
 	"fig7": "TP2D",
 }
 
-func run(exp string, procs int, quick bool, trPath string, csvOut bool) error {
+func run(ctx context.Context, exp string, procs int, quick bool, trPath string, csvOut bool) error {
 	load := func(app string) (*trace.Trace, error) {
 		if trPath != "" {
 			f, err := os.Open(trPath)
@@ -85,7 +93,11 @@ func run(exp string, procs int, quick bool, trPath string, csvOut bool) error {
 			if err != nil {
 				return err
 			}
-			if err := emit(experiments.Fig1(tr, procs), csvOut); err != nil {
+			f, err := experiments.Fig1(ctx, tr, procs)
+			if err != nil {
+				return err
+			}
+			if err := emit(f, csvOut); err != nil {
 				return err
 			}
 		case figApps[name] != "":
@@ -93,7 +105,10 @@ func run(exp string, procs int, quick bool, trPath string, csvOut bool) error {
 			if err != nil {
 				return err
 			}
-			v := experiments.FigModelVsActual(tr, procs)
+			v, err := experiments.FigModelVsActual(ctx, tr, procs)
+			if err != nil {
+				return err
+			}
 			if !csvOut {
 				fmt.Printf("--- %s (paper Figure %s) ---\n", v.App, name[3:])
 			}
@@ -108,7 +123,11 @@ func run(exp string, procs int, quick bool, trPath string, csvOut bool) error {
 			if err != nil {
 				return err
 			}
-			if err := emit(experiments.ClassificationTrajectory(tr, procs), csvOut); err != nil {
+			f, err := experiments.ClassificationTrajectory(ctx, tr, procs)
+			if err != nil {
+				return err
+			}
+			if err := emit(f, csvOut); err != nil {
 				return err
 			}
 		case name == "ablationA":
@@ -117,7 +136,11 @@ func run(exp string, procs int, quick bool, trPath string, csvOut bool) error {
 				if err != nil {
 					return err
 				}
-				if err := emit(experiments.AblationDenominator(tr, procs), csvOut); err != nil {
+				f, err := experiments.AblationDenominator(ctx, tr, procs)
+				if err != nil {
+					return err
+				}
+				if err := emit(f, csvOut); err != nil {
 					return err
 				}
 			}
@@ -127,7 +150,11 @@ func run(exp string, procs int, quick bool, trPath string, csvOut bool) error {
 				if err != nil {
 					return err
 				}
-				experiments.AblationPartitioners(tr, procs).Print(os.Stdout)
+				tb, err := experiments.AblationPartitioners(ctx, tr, procs)
+				if err != nil {
+					return err
+				}
+				tb.Print(os.Stdout)
 			}
 		case name == "ablationC":
 			for _, app := range apps.Names {
@@ -135,7 +162,11 @@ func run(exp string, procs int, quick bool, trPath string, csvOut bool) error {
 				if err != nil {
 					return err
 				}
-				experiments.MetaVsStatic(tr, procs).Print(os.Stdout)
+				tb, err := experiments.MetaVsStatic(ctx, tr, procs)
+				if err != nil {
+					return err
+				}
+				tb.Print(os.Stdout)
 			}
 		case name == "ablationD":
 			for _, app := range apps.Names {
@@ -143,7 +174,11 @@ func run(exp string, procs int, quick bool, trPath string, csvOut bool) error {
 				if err != nil {
 					return err
 				}
-				if err := emit(experiments.AblationAbsoluteImportance(tr, procs), csvOut); err != nil {
+				f, err := experiments.AblationAbsoluteImportance(ctx, tr, procs)
+				if err != nil {
+					return err
+				}
+				if err := emit(f, csvOut); err != nil {
 					return err
 				}
 			}
@@ -153,7 +188,11 @@ func run(exp string, procs int, quick bool, trPath string, csvOut bool) error {
 				if err != nil {
 					return err
 				}
-				experiments.AblationPostMapping(tr, procs).Print(os.Stdout)
+				tb, err := experiments.AblationPostMapping(ctx, tr, procs)
+				if err != nil {
+					return err
+				}
+				tb.Print(os.Stdout)
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

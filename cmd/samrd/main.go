@@ -44,6 +44,32 @@
 // "nature+fable-hilbert-u4-q4-whole". Setting "meta": true on
 // /v1/simulate replaces the fixed partitioner with per-step
 // meta-partitioner selection.
+//
+// # Deadlines and cancellation
+//
+// Every request is bounded by a context that threads from the HTTP
+// layer down through the worker pool, the partitioners, and the
+// simulator; no layer ignores cancellation. The -request-timeout flag
+// caps each request's handling (default 2m, 0 disables): a request
+// whose deadline expires — including one that arrives already past it —
+// returns 504 Gateway Timeout with a JSON error body, without running
+// (or while aborting, mid-batch) the partitioner. A client that
+// disconnects cancels its request the same way; the outcome is recorded
+// as the nginx-conventional 499. Cancelled partition work never
+// produces partial results and never poisons the cache.
+//
+// Concurrent identical cache misses are coalesced: while one request
+// computes a partition, every other request for the same
+// (signature, partitioner, nprocs) key waits for that result instead of
+// recomputing it, and reports X-Samr-Cache: shared. Watch the cache and
+// request counters live:
+//
+//	curl localhost:8347/v1/stats
+//
+// Slow-client protection: -max-body-bytes bounds request bodies, and
+// the HTTP server runs with read/write timeouts derived from
+// -request-timeout so a stalled connection cannot pin a handler
+// forever.
 package main
 
 import (
@@ -63,19 +89,23 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8347", "listen address")
-		dir   = flag.String("traces", "", "directory of .trc trace files (loaded at startup and on demand)")
-		cache = flag.Int("cache", 256, "partition cache capacity (results)")
-		procs = flag.Int("procs", 16, "default processor count for requests that omit nprocs")
-		cost  = flag.Float64("partition-cost", 2e-4, "classifier partitioning-cost estimate (seconds)")
+		addr       = flag.String("addr", ":8347", "listen address")
+		dir        = flag.String("traces", "", "directory of .trc trace files (loaded at startup and on demand)")
+		cache      = flag.Int("cache", 256, "partition cache capacity (results)")
+		procs      = flag.Int("procs", 16, "default processor count for requests that omit nprocs")
+		cost       = flag.Float64("partition-cost", 2e-4, "classifier partitioning-cost estimate (seconds)")
+		reqTimeout = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline threaded into partitioners and simulator (0 disables)")
+		maxBody    = flag.Int64("max-body-bytes", 64<<20, "request body size limit in bytes")
 	)
 	flag.Parse()
 
 	s, err := server.New(server.Config{
-		TraceDir:      *dir,
-		CacheSize:     *cache,
-		DefaultProcs:  *procs,
-		PartitionCost: *cost,
+		TraceDir:       *dir,
+		CacheSize:      *cache,
+		DefaultProcs:   *procs,
+		PartitionCost:  *cost,
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "samrd:", err)
@@ -85,7 +115,27 @@ func main() {
 		log.Printf("samrd: trace %q: app=%s snapshots=%d", ti.Name, ti.App, ti.Snapshots)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	// The read timeout bounds slow request-body uploads, which were
+	// previously unbounded (only the headers had a timeout) and let a
+	// slow client pin a connection forever. The write timeout — which
+	// starts at header read and therefore also spans the body upload —
+	// leaves a full read-timeout of headroom over the handler deadline,
+	// so a slow upload followed by a compute that runs to its
+	// -request-timeout can still flush the documented 504. With
+	// -request-timeout 0 the cap really is disabled: no write timeout.
+	const readTimeout = 5 * time.Minute
+	var writeTimeout time.Duration
+	if *reqTimeout > 0 {
+		writeTimeout = *reqTimeout + readTimeout
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// Shutdown makes ListenAndServe return immediately, so main must
@@ -99,13 +149,13 @@ func main() {
 		hs.Shutdown(shutdownCtx) //nolint:errcheck
 	}()
 
-	log.Printf("samrd: listening on %s (cache %d, default procs %d)", *addr, *cache, *procs)
+	log.Printf("samrd: listening on %s (cache %d, default procs %d, request timeout %s)", *addr, *cache, *procs, *reqTimeout)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "samrd:", err)
 		os.Exit(1)
 	}
 	stop()
 	<-drained
-	hits, misses := s.Cache().Stats()
-	log.Printf("samrd: shut down (cache hits %d, misses %d)", hits, misses)
+	hits, misses, shared := s.Cache().Stats()
+	log.Printf("samrd: shut down (cache hits %d, misses %d, shared %d)", hits, misses, shared)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	procs := flag.Int("procs", 16, "processors to simulate")
 	flag.Parse()
+	ctx := context.Background()
 
 	for _, app := range apps.Names {
 		var tr *trace.Trace
@@ -40,17 +42,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		experiments.MetaVsStatic(tr, *procs).Print(os.Stdout)
+		tb, err := experiments.MetaVsStatic(ctx, tr, *procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tb.Print(os.Stdout)
 
 		// Show which partitioners the dynamic run actually used.
 		m := sim.DefaultMachine()
 		meta := core.NewMetaPartitioner(2e-4)
 		usage := map[string]int{}
-		sim.SimulateTraceSelect(tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
+		if _, err := sim.SimulateTraceSelect(ctx, tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
 			p := meta.Select(h, float64(h.Workload())*m.CellTime/float64(*procs))
 			usage[p.Name()]++
 			return p
-		}, *procs, m)
+		}, *procs, m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("# dynamic selections for %s: %v\n\n", app, usage)
 	}
 }

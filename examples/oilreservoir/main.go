@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	procs := flag.Int("procs", 16, "processors to simulate")
 	flag.Parse()
+	ctx := context.Background()
 
 	var tr *trace.Trace
 	var err error
@@ -39,11 +41,20 @@ func main() {
 	}
 
 	fmt.Println("Figure 1: dynamic behaviour under one static partitioner")
-	experiments.Fig1(tr, *procs).Print(os.Stdout)
+	f1, err := experiments.Fig1(ctx, tr, *procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f1.Print(os.Stdout)
 
 	fmt.Println()
 	fmt.Println("Figure 5: model (ab initio) vs simulator (measured)")
-	v := experiments.FigModelVsActual(tr, *procs)
+	v, err := experiments.FigModelVsActual(ctx, tr, *procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	v.Comm.Print(os.Stdout)
 	v.Mig.Print(os.Stdout)
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"samr"
@@ -44,13 +45,23 @@ func main() {
 	}
 
 	// Partition the final hierarchy three ways and compare quality.
+	// Partitioning is context-bounded: a served deployment would pass a
+	// per-request deadline here and fall back to a cheap partitioner on
+	// expiry; Background suffices for a demo that should run to the end.
 	fmt.Println("\npartitioner                              imbalance%  rel_comm")
+	ctx := context.Background()
 	m := samr.DefaultMachine()
 	for _, p := range []samr.Partitioner{
 		samr.NewDomainSFC(), samr.NewPatchBased(), samr.NewNatureFable(),
 	} {
-		a := p.Partition(prev, 8)
-		sm := samr.Evaluate(prev, a, m)
+		a, err := p.Partition(ctx, prev, 8)
+		if err != nil {
+			panic(err)
+		}
+		sm, err := samr.Evaluate(ctx, prev, a, m)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-40s %9.1f  %.4f\n", p.Name(), sm.Imbalance, sm.RelativeComm)
 	}
 }

@@ -1,9 +1,24 @@
 // The service example drives the samrd partitioning service end to
 // end, in process: it generates a reduced-scale application trace,
-// stands up the server on a loopback listener, and exercises all four
+// stands up the server on a loopback listener, and exercises the
 // endpoints — listing traces, meta-partitioner selection, cached
 // partitioning (showing the miss -> hit flip on a repeated regrid
-// state), and trace-driven simulation.
+// state), trace-driven simulation, and the operational counters of
+// /v1/stats.
+//
+// # Deadlines and cancellation
+//
+// Every request is context-bounded: the server threads the request
+// context (optionally capped by Config.RequestTimeout / samrd's
+// -request-timeout flag) down through the worker pool and into every
+// partitioner, which polls it at box-batch granularity. A request whose
+// deadline expires returns 504 Gateway Timeout with a JSON error and
+// never produces a partial result; a client that disconnects cancels
+// its work mid-batch the same way (recorded as 499). Concurrent
+// identical cache misses are coalesced by a singleflight group — the
+// extra requests wait for the first compute and report
+// X-Samr-Cache: shared. The final section of this example demonstrates
+// the deadline wire error with a deliberately impossible timeout.
 package main
 
 import (
@@ -13,6 +28,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"time"
 
 	"samr/internal/apps"
 	"samr/internal/server"
@@ -92,6 +108,39 @@ func run() error {
 		}
 		fmt.Printf("  %-24s estTime=%.4fs meanImbalance=%.1f%%\n", sresp.Partitioner, sresp.TotalEstTime, sresp.MeanImbalance)
 	}
+
+	// GET /v1/stats: the operational counters behind the cache headers.
+	var st server.StatsResponse
+	if err := get(ts.URL+"/v1/stats", &st); err != nil {
+		return err
+	}
+	fmt.Printf("\n/v1/stats: cache hits=%d misses=%d shared=%d (%d/%d entries), pool=%d, in-flight=%d\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Shared, st.Cache.Entries, st.Cache.Capacity,
+		st.PoolSize, st.InFlight)
+	for _, ep := range []string{"partition", "select", "simulate"} {
+		fmt.Printf("  endpoint %-10s requests=%d errors=%d\n", ep, st.Endpoints[ep].Requests, st.Endpoints[ep].Errors)
+	}
+
+	// Deadline demo: a server whose per-request deadline is impossibly
+	// tight answers with the documented 504 wire error before running
+	// any partitioner — the regrid-time bound the meta-partitioner
+	// story depends on.
+	tight, err := server.New(server.Config{DefaultProcs: 8, RequestTimeout: time.Nanosecond})
+	if err != nil {
+		return err
+	}
+	tts := httptest.NewServer(tight)
+	defer tts.Close()
+	preq2 := server.PartitionRequest{Hierarchy: &wire[0], Partitioner: "nature+fable", NProcs: 8}
+	body, _ := json.Marshal(preq2)
+	resp, err := http.Post(tts.URL+"/v1/partition", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var e server.ErrorResponse
+	json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+	fmt.Printf("\nexpired deadline: HTTP %d, error=%q\n", resp.StatusCode, e.Error)
 	return nil
 }
 

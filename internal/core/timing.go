@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"samr/internal/grid"
@@ -11,27 +12,34 @@ import (
 // measured quantity the paper proposes feeding trade-off 2 ("the
 // partitioner when invoked calls a timer to determine the invocation
 // intervals"). It returns the wall-clock seconds of a single Partition
-// call, averaged over reps invocations (at least one).
-func MeasurePartitionCost(p partition.Partitioner, h *grid.Hierarchy, nprocs, reps int) float64 {
+// call, averaged over reps invocations (at least one). A cancelled ctx
+// aborts the measurement and returns the partitioner's error.
+func MeasurePartitionCost(ctx context.Context, p partition.Partitioner, h *grid.Hierarchy, nprocs, reps int) (float64, error) {
 	if reps < 1 {
 		reps = 1
 	}
 	start := time.Now()
 	for i := 0; i < reps; i++ {
-		p.Partition(h, nprocs)
+		if _, err := p.Partition(ctx, h, nprocs); err != nil {
+			return 0, err
+		}
 	}
-	return time.Since(start).Seconds() / float64(reps)
+	return time.Since(start).Seconds() / float64(reps), nil
 }
 
 // CalibratePartitionCost measures the meta-partitioner's whole stable
 // on a representative hierarchy and returns the worst (most expensive)
 // per-invocation cost — a conservative seed for the dimension-II model.
-func CalibratePartitionCost(m *MetaPartitioner, h *grid.Hierarchy, nprocs int) float64 {
+func CalibratePartitionCost(ctx context.Context, m *MetaPartitioner, h *grid.Hierarchy, nprocs int) (float64, error) {
 	worst := 0.0
 	for _, p := range m.Stable() {
-		if c := MeasurePartitionCost(p, h, nprocs, 1); c > worst {
+		c, err := MeasurePartitionCost(ctx, p, h, nprocs, 1)
+		if err != nil {
+			return 0, err
+		}
+		if c > worst {
 			worst = c
 		}
 	}
-	return worst
+	return worst, nil
 }

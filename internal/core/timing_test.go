@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"samr/internal/geom"
@@ -10,7 +11,10 @@ func TestMeasurePartitionCostPositive(t *testing.T) {
 	h := refined(geom.NewBox2(8, 8, 24, 24))
 	m := NewMetaPartitioner(0)
 	for _, p := range m.Stable() {
-		c := MeasurePartitionCost(p, h, 8, 2)
+		c, err := MeasurePartitionCost(context.Background(), p, h, 8, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
 		if c <= 0 {
 			t.Errorf("%s: cost %f not positive", p.Name(), c)
 		}
@@ -23,15 +27,32 @@ func TestMeasurePartitionCostPositive(t *testing.T) {
 func TestMeasurePartitionCostRepsClamped(t *testing.T) {
 	h := refined(geom.NewBox2(8, 8, 24, 24))
 	m := NewMetaPartitioner(0)
-	if c := MeasurePartitionCost(m.Stable()[0], h, 4, 0); c <= 0 {
+	c, err := MeasurePartitionCost(context.Background(), m.Stable()[0], h, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
 		t.Errorf("reps=0 should clamp to 1, got cost %f", c)
+	}
+}
+
+func TestMeasurePartitionCostCancelled(t *testing.T) {
+	h := refined(geom.NewBox2(8, 8, 24, 24))
+	m := NewMetaPartitioner(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MeasurePartitionCost(ctx, m.Stable()[0], h, 8, 2); err == nil {
+		t.Error("cancelled measurement returned no error")
 	}
 }
 
 func TestCalibratePartitionCost(t *testing.T) {
 	h := refined(geom.NewBox2(8, 8, 24, 24))
 	m := NewMetaPartitioner(0)
-	worst := CalibratePartitionCost(m, h, 8)
+	worst, err := CalibratePartitionCost(context.Background(), m, h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if worst <= 0 {
 		t.Fatalf("calibrated cost %f", worst)
 	}
@@ -39,7 +60,10 @@ func TestCalibratePartitionCost(t *testing.T) {
 	for _, p := range m.Stable() {
 		// One-shot timing is noisy; just ensure the same order of
 		// magnitude rather than a strict bound.
-		c := MeasurePartitionCost(p, h, 8, 1)
+		c, err := MeasurePartitionCost(context.Background(), p, h, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if c > worst*50 {
 			t.Errorf("%s: cost %g wildly exceeds calibration %g", p.Name(), c, worst)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"samr/internal/core"
@@ -16,9 +17,12 @@ import (
 // AblationDenominator (Ablation A) compares the three candidate
 // denominators of beta_m (section 4.4 discusses why |H_t| is chosen)
 // against the measured relative migration.
-func AblationDenominator(tr *trace.Trace, nprocs int) *Figure {
+func AblationDenominator(ctx context.Context, tr *trace.Trace, nprocs int) (*Figure, error) {
 	m := sim.DefaultMachine()
-	res := sim.SimulateTrace(tr, staticPartitioner(), nprocs, m)
+	res, err := sim.SimulateTrace(ctx, tr, staticPartitioner(), nprocs, m)
+	if err != nil {
+		return nil, err
+	}
 	f := &Figure{
 		ID:    "ablationA",
 		Title: fmt.Sprintf("%s: beta_m denominator choices vs measured migration", tr.App),
@@ -26,6 +30,9 @@ func AblationDenominator(tr *trace.Trace, nprocs int) *Figure {
 	var cur, prev, maxd, act Series
 	cur.Name, prev.Name, maxd.Name, act.Name = "denom_Ht", "denom_Ht-1", "denom_max", "rel_migration"
 	for i := 1; i < len(tr.Snapshots); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a, b := tr.Snapshots[i-1].H, tr.Snapshots[i].H
 		f.Steps = append(f.Steps, tr.Snapshots[i].Step)
 		cur.Values = append(cur.Values, core.MigrationPenaltyWith(a, b, core.DenomCurrent))
@@ -40,7 +47,7 @@ func AblationDenominator(tr *trace.Trace, nprocs int) *Figure {
 			stats.Pearson(prev.Values, act.Values),
 			stats.Pearson(maxd.Values, act.Values)),
 	)
-	return f
+	return f, nil
 }
 
 // partitionerFamilies is the partitioner set of Ablation B: one
@@ -63,7 +70,7 @@ func partitionerFamilies() []partition.Partitioner {
 // so they fan out across the worker pool; each goroutine writes its row
 // by index, keeping the table order (and content) identical to a
 // sequential run.
-func AblationPartitioners(tr *trace.Trace, nprocs int) *Table {
+func AblationPartitioners(ctx context.Context, tr *trace.Trace, nprocs int) (*Table, error) {
 	m := sim.DefaultMachine()
 	t := &Table{
 		ID:      "ablationB",
@@ -72,9 +79,12 @@ func AblationPartitioners(tr *trace.Trace, nprocs int) *Table {
 	}
 	ps := partitionerFamilies()
 	t.Rows = make([][]string, len(ps))
-	pool.ForEach(pool.Workers(), len(ps), func(i int) {
+	err := pool.MapCtx(ctx, pool.Workers(), len(ps), func(i int) error {
 		p := ps[i]
-		res := sim.SimulateTrace(tr, p, nprocs, m)
+		res, err := sim.SimulateTrace(ctx, tr, p, nprocs, m)
+		if err != nil {
+			return err
+		}
 		var comm, mig []float64
 		var inter, total int64
 		for _, s := range res.Steps {
@@ -95,19 +105,23 @@ func AblationPartitioners(tr *trace.Trace, nprocs int) *Table {
 			fmt.Sprintf("%.3f", share),
 			fmt.Sprintf("%.4f", res.TotalEstTime()),
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t.Notes = append(t.Notes,
 		"domain-based rows must show interlevel_share = 0 (section 2.2)",
 		"patch-based rows trade inter-level communication for balance",
 	)
-	return t
+	return t, nil
 }
 
 // MetaVsStatic (Ablation C) compares the meta-partitioner's dynamic
 // per-step selection against every static choice from its own stable,
 // reporting total estimated execution time — the ArMADA-style proof
 // that adapting to dynamic behaviour reduces execution time.
-func MetaVsStatic(tr *trace.Trace, nprocs int) *Table {
+func MetaVsStatic(ctx context.Context, tr *trace.Trace, nprocs int) (*Table, error) {
 	m := sim.DefaultMachine()
 	t := &Table{
 		ID:      "ablationC",
@@ -134,24 +148,35 @@ func MetaVsStatic(tr *trace.Trace, nprocs int) *Table {
 	// stable's partitioner instances (including the stateful post-mapped
 	// one), so it completes before the static runs start.
 	mm := sim.DefaultMachine()
-	dyn := sim.SimulateTraceSelect(tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
+	dyn, err := sim.SimulateTraceSelect(ctx, tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
 		return meta.Select(h, timeSlot(h, nprocs, mm))
 	}, nprocs, m)
+	if err != nil {
+		return nil, err
+	}
 
 	// Statics: each stable entry is a distinct instance, reset inside
 	// its own worker, so the per-partitioner simulations fan out.
 	stable := meta.Stable()
 	t.Rows = make([][]string, 1+len(stable))
 	t.Rows[0] = row("meta-partitioner(dynamic)", dyn)
-	pool.ForEach(pool.Workers(), len(stable), func(i int) {
+	err = pool.MapCtx(ctx, pool.Workers(), len(stable), func(i int) error {
 		p := stable[i]
 		resetStateful(p)
-		t.Rows[1+i] = row("static:"+p.Name(), sim.SimulateTrace(tr, p, nprocs, m))
+		res, err := sim.SimulateTrace(ctx, tr, p, nprocs, m)
+		if err != nil {
+			return err
+		}
+		t.Rows[1+i] = row("static:"+p.Name(), res)
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t.Notes = append(t.Notes,
 		"expected shape: dynamic <= best static on average, << worst static",
 	)
-	return t
+	return t, nil
 }
 
 // resetStateful clears carried state from stateful partitioners (the
@@ -168,7 +193,7 @@ func resetStateful(p partition.Partitioner) {
 // post-mapping technique (label remap maximizing overlap with the
 // previous assignment). Load balance and communication are unchanged
 // by construction; migration and execution time should drop.
-func AblationPostMapping(tr *trace.Trace, nprocs int) *Table {
+func AblationPostMapping(ctx context.Context, tr *trace.Trace, nprocs int) (*Table, error) {
 	m := sim.DefaultMachine()
 	t := &Table{
 		ID:      "ablationE",
@@ -182,7 +207,10 @@ func AblationPostMapping(tr *trace.Trace, nprocs int) *Table {
 		partition.NewPostMapped(&partition.DomainSFC{Curve: sfc.Hilbert, UnitSize: 2}),
 	}
 	for _, p := range pairs {
-		res := sim.SimulateTrace(tr, p, nprocs, m)
+		res, err := sim.SimulateTrace(ctx, tr, p, nprocs, m)
+		if err != nil {
+			return nil, err
+		}
 		var mig []float64
 		for _, s := range res.Steps {
 			mig = append(mig, s.RelativeMigration)
@@ -197,13 +225,13 @@ func AblationPostMapping(tr *trace.Trace, nprocs int) *Table {
 	t.Notes = append(t.Notes,
 		"postmap(...) rows must not exceed their base row's migration (same decomposition, aligned labels)",
 	)
-	return t
+	return t, nil
 }
 
 // AblationAbsoluteImportance (Ablation D) contrasts the raw mean
 // penalty with the size-weighted Need of section 4.2/4.3: large
 // penalties at grid-size minima are discounted, at peaks they are not.
-func AblationAbsoluteImportance(tr *trace.Trace, nprocs int) *Figure {
+func AblationAbsoluteImportance(ctx context.Context, tr *trace.Trace, nprocs int) (*Figure, error) {
 	m := sim.DefaultMachine()
 	cls := core.NewClassifier(partitionCostEstimate)
 	f := &Figure{
@@ -213,6 +241,9 @@ func AblationAbsoluteImportance(tr *trace.Trace, nprocs int) *Figure {
 	var raw, need, size Series
 	raw.Name, need.Name, size.Name = "mean_penalty", "need_weighted", "size_norm"
 	for _, snap := range tr.Snapshots {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := cls.Classify(snap.H, timeSlot(snap.H, nprocs, m))
 		f.Steps = append(f.Steps, snap.Step)
 		raw.Values = append(raw.Values, (s.BetaL+s.BetaC+s.BetaM)/3)
@@ -223,5 +254,5 @@ func AblationAbsoluteImportance(tr *trace.Trace, nprocs int) *Figure {
 	f.Notes = append(f.Notes,
 		"need = mean_penalty * size_norm: optimization urgency discounted at grid-size minima (section 4.2)",
 	)
-	return f
+	return f, nil
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -162,9 +163,12 @@ const partitionCostEstimate = 2e-4
 // Fig1 reproduces Figure 1: the dynamic behaviour of BL2D under a
 // single static partitioner — load imbalance and communication amount
 // as functions of time.
-func Fig1(tr *trace.Trace, nprocs int) *Figure {
+func Fig1(ctx context.Context, tr *trace.Trace, nprocs int) (*Figure, error) {
 	m := sim.DefaultMachine()
-	res := sim.SimulateTrace(tr, staticPartitioner(), nprocs, m)
+	res, err := sim.SimulateTrace(ctx, tr, staticPartitioner(), nprocs, m)
+	if err != nil {
+		return nil, err
+	}
 	f := &Figure{
 		ID:    "fig1",
 		Title: fmt.Sprintf("%s dynamic behaviour, static %s, %d procs", tr.App, res.PartitionerName, nprocs),
@@ -184,7 +188,7 @@ func Fig1(tr *trace.Trace, nprocs int) *Figure {
 		fmt.Sprintf("imbalance oscillation period: %d steps", stats.DominantPeriod(imb.Values, 30)),
 		fmt.Sprintf("rel_comm  oscillation period: %d steps", stats.DominantPeriod(comm.Values, 30)),
 	)
-	return f
+	return f, nil
 }
 
 // Validation is the Figures 4-7 output for one application: the left
@@ -211,22 +215,33 @@ type Validation struct {
 // (penalties from the unpartitioned trace) and the simulator (actual
 // metrics under the static partitioner) and pairs the series. The two
 // sides are independent until the pairing, so they run concurrently.
-func FigModelVsActual(tr *trace.Trace, nprocs int) *Validation {
+func FigModelVsActual(ctx context.Context, tr *trace.Trace, nprocs int) (*Validation, error) {
 	m := sim.DefaultMachine()
 	var res *sim.Result
 	samples := make([]core.Sample, len(tr.Snapshots))
-	pool.Run(
-		func() { res = sim.SimulateTrace(tr, staticPartitioner(), nprocs, m) },
-		func() {
+	err := pool.RunCtx(ctx,
+		func() error {
+			var err error
+			res, err = sim.SimulateTrace(ctx, tr, staticPartitioner(), nprocs, m)
+			return err
+		},
+		func() error {
 			// Model side: ab initio penalties over the raw trace. The
 			// classifier carries running state (previous hierarchy,
 			// size normalization), so it consumes snapshots in order.
 			cls := core.NewClassifier(partitionCostEstimate)
 			for i, snap := range tr.Snapshots {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				samples[i] = cls.Classify(snap.H, timeSlot(snap.H, nprocs, m))
 			}
+			return nil
 		},
 	)
+	if err != nil {
+		return nil, err
+	}
 
 	var betaC, betaM, actC, actM []float64
 	var steps []int
@@ -290,12 +305,12 @@ func FigModelVsActual(tr *trace.Trace, nprocs int) *Validation {
 		fmt.Sprintf("rel_migration period %d, beta_m period %d",
 			stats.DominantPeriod(actM, 30), stats.DominantPeriod(betaM, 30)),
 	)
-	return v
+	return v, nil
 }
 
 // ClassificationTrajectory demonstrates Figure 3 (right): the locus of
 // classification points as the simulation evolves.
-func ClassificationTrajectory(tr *trace.Trace, nprocs int) *Figure {
+func ClassificationTrajectory(ctx context.Context, tr *trace.Trace, nprocs int) (*Figure, error) {
 	m := sim.DefaultMachine()
 	cls := core.NewClassifier(partitionCostEstimate)
 	f := &Figure{
@@ -305,6 +320,9 @@ func ClassificationTrajectory(tr *trace.Trace, nprocs int) *Figure {
 	var d1, d2, d3, size Series
 	d1.Name, d2.Name, d3.Name, size.Name = "dimI", "dimII", "dimIII", "size_norm"
 	for _, snap := range tr.Snapshots {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := cls.Classify(snap.H, timeSlot(snap.H, nprocs, m))
 		f.Steps = append(f.Steps, snap.Step)
 		d1.Values = append(d1.Values, s.DimI)
@@ -317,5 +335,5 @@ func ClassificationTrajectory(tr *trace.Trace, nprocs int) *Figure {
 		"continuous absolute coordinates; contrast with the discrete octant approach",
 		fmt.Sprintf("dimIII: %s", stats.Summarize(d3.Values)),
 	)
-	return f
+	return f, nil
 }

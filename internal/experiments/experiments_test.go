@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -9,6 +10,17 @@ import (
 	"samr/internal/apps"
 	"samr/internal/trace"
 )
+
+// bg is the background context of the non-cancellation tests.
+var bg = context.Background()
+
+// noErr fails the test on a non-nil experiment error.
+func noErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
 
 // quick returns the reduced-scale trace for tests.
 func quick(t *testing.T, app string) *trace.Trace {
@@ -22,7 +34,8 @@ func quick(t *testing.T, app string) *trace.Trace {
 
 func TestFig1Shape(t *testing.T) {
 	tr := quick(t, "BL2D")
-	f := Fig1(tr, 8)
+	f, err := Fig1(bg, tr, 8)
+	noErr(t, err)
 	if len(f.Steps) != tr.Len() {
 		t.Errorf("Fig1 has %d steps, trace has %d", len(f.Steps), tr.Len())
 	}
@@ -46,7 +59,8 @@ func TestFigModelVsActualAllApps(t *testing.T) {
 		app := app
 		t.Run(app, func(t *testing.T) {
 			t.Parallel()
-			v := FigModelVsActual(quick(t, app), 8)
+			v, err := FigModelVsActual(bg, quick(t, app), 8)
+			noErr(t, err)
 			if v.Comm == nil || v.Mig == nil {
 				t.Fatal("missing panels")
 			}
@@ -73,7 +87,8 @@ func TestFigModelVsActualAllApps(t *testing.T) {
 func TestFigModelCapturesMigrationTrend(t *testing.T) {
 	// The core claim of the paper on the quick traces: beta_m
 	// correlates positively with measured migration for a dynamic app.
-	v := FigModelVsActual(quick(t, "TP2D"), 8)
+	v, err := FigModelVsActual(bg, quick(t, "TP2D"), 8)
+	noErr(t, err)
 	if v.MigCorrAtLag < 0.1 {
 		t.Errorf("beta_m vs migration correlation (best lag) = %.3f; model lost the trend",
 			v.MigCorrAtLag)
@@ -84,7 +99,8 @@ func TestBetaCIsWorstCase(t *testing.T) {
 	// The paper: beta_c reflects a worst-case scenario; the hybrid
 	// partitioner produces substantially less communication.
 	for _, app := range []string{"TP2D", "BL2D"} {
-		v := FigModelVsActual(quick(t, app), 8)
+		v, err := FigModelVsActual(bg, quick(t, app), 8)
+		noErr(t, err)
 		if v.CommAggressor < 0.6 {
 			t.Errorf("%s: beta_c >= measured on only %.0f%% of steps; expected mostly above",
 				app, 100*v.CommAggressor)
@@ -93,7 +109,8 @@ func TestBetaCIsWorstCase(t *testing.T) {
 }
 
 func TestClassificationTrajectory(t *testing.T) {
-	f := ClassificationTrajectory(quick(t, "SC2D"), 8)
+	f, err := ClassificationTrajectory(bg, quick(t, "SC2D"), 8)
+	noErr(t, err)
 	if len(f.Data) != 4 {
 		t.Fatalf("trajectory series = %d", len(f.Data))
 	}
@@ -107,7 +124,8 @@ func TestClassificationTrajectory(t *testing.T) {
 }
 
 func TestAblationDenominator(t *testing.T) {
-	f := AblationDenominator(quick(t, "TP2D"), 8)
+	f, err := AblationDenominator(bg, quick(t, "TP2D"), 8)
+	noErr(t, err)
 	if len(f.Data) != 4 {
 		t.Fatalf("series = %d", len(f.Data))
 	}
@@ -117,7 +135,8 @@ func TestAblationDenominator(t *testing.T) {
 }
 
 func TestAblationPartitionersDomainNoInterLevel(t *testing.T) {
-	tb := AblationPartitioners(quick(t, "TP2D"), 8)
+	tb, err := AblationPartitioners(bg, quick(t, "TP2D"), 8)
+	noErr(t, err)
 	if len(tb.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
@@ -129,7 +148,8 @@ func TestAblationPartitionersDomainNoInterLevel(t *testing.T) {
 }
 
 func TestMetaVsStaticShape(t *testing.T) {
-	tb := MetaVsStatic(quick(t, "TP2D"), 8)
+	tb, err := MetaVsStatic(bg, quick(t, "TP2D"), 8)
+	noErr(t, err)
 	if len(tb.Rows) != 6 { // dynamic + 5 static
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
@@ -139,7 +159,8 @@ func TestMetaVsStaticShape(t *testing.T) {
 }
 
 func TestAblationAbsoluteImportanceDiscounts(t *testing.T) {
-	f := AblationAbsoluteImportance(quick(t, "BL2D"), 8)
+	f, err := AblationAbsoluteImportance(bg, quick(t, "BL2D"), 8)
+	noErr(t, err)
 	raw, need := f.Data[0].Values, f.Data[1].Values
 	for i := range raw {
 		if need[i] > raw[i]+1e-12 {
@@ -149,14 +170,16 @@ func TestAblationAbsoluteImportanceDiscounts(t *testing.T) {
 }
 
 func TestFigurePrintAndTablePrint(t *testing.T) {
-	f := Fig1(quick(t, "BL2D"), 4)
+	f, err := Fig1(bg, quick(t, "BL2D"), 4)
+	noErr(t, err)
 	var buf bytes.Buffer
 	f.Print(&buf)
 	out := buf.String()
 	if !strings.Contains(out, "imbalance_pct") || !strings.Contains(out, "fig1") {
 		t.Errorf("figure print missing headers:\n%s", out[:min(200, len(out))])
 	}
-	tb := AblationPartitioners(quick(t, "TP2D"), 4)
+	tb, err := AblationPartitioners(bg, quick(t, "TP2D"), 4)
+	noErr(t, err)
 	buf.Reset()
 	tb.Print(&buf)
 	if !strings.Contains(buf.String(), "partitioner") {
@@ -172,7 +195,8 @@ func min(a, b int) int {
 }
 
 func TestAblationPostMappingReducesMigration(t *testing.T) {
-	tb := AblationPostMapping(quick(t, "TP2D"), 8)
+	tb, err := AblationPostMapping(bg, quick(t, "TP2D"), 8)
+	noErr(t, err)
 	if len(tb.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}

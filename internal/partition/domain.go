@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,13 +37,19 @@ func (d *DomainSFC) Name() string {
 }
 
 // Partition implements Partitioner.
-func (d *DomainSFC) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
+func (d *DomainSFC) Partition(ctx context.Context, h *grid.Hierarchy, nprocs int) (*Assignment, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	us := d.UnitSize
 	if us < 1 {
 		us = 1
 	}
-	hi := newHierIndex(h)
-	units := hi.unitsOf(h.Levels[0].Boxes, us)
+	hi := newHierIndex(ctx, h)
+	units, err := hi.unitsOf(h.Levels[0].Boxes, us)
+	if err != nil {
+		return nil, err
+	}
 	// Order the units along the curve.
 	order := make([]int, len(units))
 	keys := make([]int64, len(units))
@@ -58,10 +65,15 @@ func (d *DomainSFC) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 	owners := cutChain(ordered, nprocs)
 	a := &Assignment{NumProcs: nprocs}
 	for i, u := range ordered {
+		if i%ctxBatch == 0 {
+			if err := hi.check(); err != nil {
+				return nil, err
+			}
+		}
 		hi.columnFragments(u.box, owners[i], &a.Fragments)
 	}
 	a.Fragments = mergeFragments(a.Fragments)
-	return a
+	return a, nil
 }
 
 // sortByKeys sorts order (and keys, in tandem) ascending by key. The

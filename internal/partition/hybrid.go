@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 
 	"samr/internal/cluster"
@@ -58,10 +59,15 @@ func (nf *NatureFable) Name() string {
 	return fmt.Sprintf("nature+fable-%s-u%d-q%d-%s", nf.Curve, nf.AtomicUnit, nf.Groups, fb)
 }
 
-// Partition implements Partitioner.
-func (nf *NatureFable) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
+// Partition implements Partitioner. Cancellation is polled per phase
+// (hue separation, coarse core cut, per-group bi-level blocking) and
+// per unit batch inside the blocking machinery.
+func (nf *NatureFable) Partition(ctx context.Context, h *grid.Hierarchy, nprocs int) (*Assignment, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	a := &Assignment{NumProcs: nprocs}
-	hi := newHierIndex(h)
+	hi := newHierIndex(ctx, h)
 	cores := nf.coreRegions(h)
 	// Hue region: base domain minus the core footprints.
 	hue := h.Levels[0].Boxes.Clone()
@@ -70,6 +76,9 @@ func (nf *NatureFable) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 	}
 	hue = hue.Simplify()
 	hue.SortByLo()
+	if err := hi.check(); err != nil {
+		return nil, err
+	}
 
 	// Workload split: hues have only base work; cores everything else.
 	hueW := hue.TotalVolume() // level 0, step factor 1
@@ -93,7 +102,9 @@ func (nf *NatureFable) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 
 	// Hues: blocking over processors [coreProcs, nprocs).
 	if hueProcs > 0 && hueW > 0 {
-		nf.blockRegion(hi, hue, 0, 0, coreProcs, hueProcs, &a.Fragments)
+		if err := nf.blockRegion(hi, hue, 0, 0, coreProcs, hueProcs, &a.Fragments); err != nil {
+			return nil, err
+		}
 	} else if hueW > 0 {
 		// No dedicated hue processors: fold hues into processor 0.
 		for _, b := range hue {
@@ -103,10 +114,12 @@ func (nf *NatureFable) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 
 	// Cores: coarse partition into groups, then bi-level blocking.
 	if coreProcs > 0 && coreW > 0 {
-		nf.partitionCores(hi, cores, coreProcs, &a.Fragments)
+		if err := nf.partitionCores(hi, cores, coreProcs, &a.Fragments); err != nil {
+			return nil, err
+		}
 	}
 	a.Fragments = mergeFragments(a.Fragments)
-	return a
+	return a, nil
 }
 
 // coreRegions returns disjoint base-space boxes covering all refined
@@ -123,7 +136,7 @@ func (nf *NatureFable) coreRegions(h *grid.Hierarchy) geom.BoxList {
 
 // partitionCores coarse-partitions the core columns into processor
 // groups and block-partitions each bi-level within its group.
-func (nf *NatureFable) partitionCores(hi *hierIndex, cores geom.BoxList, coreProcs int, out *[]Fragment) {
+func (nf *NatureFable) partitionCores(hi *hierIndex, cores geom.BoxList, coreProcs int, out *[]Fragment) error {
 	groups := nf.Groups
 	if groups < 1 {
 		groups = 1
@@ -133,7 +146,10 @@ func (nf *NatureFable) partitionCores(hi *hierIndex, cores geom.BoxList, corePro
 	}
 	// Coarse partitioning: order core units along the curve and cut
 	// into groups by workload.
-	units := hi.unitsOf(cores, nf.AtomicUnit)
+	units, err := hi.unitsOf(cores, nf.AtomicUnit)
+	if err != nil {
+		return err
+	}
 	nf.orderUnits(units)
 	groupOf := cutChain(units, groups)
 
@@ -169,6 +185,9 @@ func (nf *NatureFable) partitionCores(hi *hierIndex, cores geom.BoxList, corePro
 	// Bi-level partitioning within each group.
 	maxLevel := len(hi.h.Levels) - 1
 	for g := 0; g < groups; g++ {
+		if err := hi.check(); err != nil {
+			return err
+		}
 		var gUnits geom.BoxList
 		for i, u := range units {
 			if groupOf[i] == g {
@@ -187,9 +206,12 @@ func (nf *NatureFable) partitionCores(hi *hierIndex, cores geom.BoxList, corePro
 			if band > maxLevel {
 				band = maxLevel
 			}
-			nf.blockRegion(hi, gUnits, lo, band, procStart[g], gProcs, out)
+			if err := nf.blockRegion(hi, gUnits, lo, band, procStart[g], gProcs, out); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // blockRegion distributes the cells of levels [loLevel, hiLevel] lying
@@ -198,25 +220,28 @@ func (nf *NatureFable) partitionCores(hi *hierIndex, cores geom.BoxList, corePro
 // fractional blocking, the unit straddling a processor-portion boundary
 // is split between the two portions instead of rounding to whole
 // blocks, trading a little extra surface for tighter balance.
-func (nf *NatureFable) blockRegion(hi *hierIndex, region geom.BoxList, loLevel, hiLevel, procBase, procs int, out *[]Fragment) {
+func (nf *NatureFable) blockRegion(hi *hierIndex, region geom.BoxList, loLevel, hiLevel, procBase, procs int, out *[]Fragment) error {
 	us := nf.AtomicUnit
 	if us < 1 {
 		us = 1
 	}
-	var units []unit
-	for _, rb := range region {
-		for y := rb.Lo[1]; y < rb.Hi[1]; y += us {
-			for x := rb.Lo[0]; x < rb.Hi[0]; x += us {
-				ub := geom.NewBox2(x, y, minInt(x+us, rb.Hi[0]), minInt(y+us, rb.Hi[1]))
-				units = append(units, unit{box: ub, weight: hi.bandWeight(ub, loLevel, hiLevel)})
-			}
-		}
+	units, err := hi.unitsOfWeighted(region, us, func(ub geom.Box) int64 {
+		return hi.bandWeight(ub, loLevel, hiLevel)
+	})
+	if err != nil {
+		return err
 	}
 	nf.orderUnits(units)
 	owned := nf.cutUnits(units, procs)
-	for _, ou := range owned {
+	for i, ou := range owned {
+		if i%ctxBatch == 0 {
+			if err := hi.check(); err != nil {
+				return err
+			}
+		}
 		hi.bandFragments(ou.box, loLevel, hiLevel, procBase+ou.owner, out)
 	}
+	return nil
 }
 
 // ownedUnit is a base-space box with its processor-portion index.

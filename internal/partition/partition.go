@@ -8,6 +8,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,13 +30,37 @@ type Assignment struct {
 }
 
 // Partitioner decomposes a hierarchy across nprocs processors.
+//
+// This is the stable execution contract of the whole stack: a
+// partitioning request is bounded by its context. Implementations poll
+// ctx at level/box-batch granularity (not per cell) and abort promptly
+// once it is cancelled or its deadline expires. On cancellation they
+// return a nil Assignment and ctx's error (wrapped, so errors.Is
+// against context.Canceled / context.DeadlineExceeded holds) — never a
+// partial result. A nil error implies the Assignment covers every cell
+// of every level exactly once.
 type Partitioner interface {
 	// Name identifies the partitioner in experiment output.
 	Name() string
-	// Partition distributes h. Implementations must cover every cell of
-	// every level exactly once.
-	Partition(h *grid.Hierarchy, nprocs int) *Assignment
+	// Partition distributes h across nprocs processors, honouring ctx.
+	Partition(ctx context.Context, h *grid.Hierarchy, nprocs int) (*Assignment, error)
 }
+
+// checkCtx is the shared cancellation poll of the partitioners: nil
+// while the request is live, a wrapped context error once it is not.
+// It is called at batch boundaries (per level, per region box, every
+// batch of units), keeping the poll cost far off the per-cell paths.
+func checkCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("partition: %w", err)
+	}
+	return nil
+}
+
+// ctxBatch is the unit-loop stride between cancellation polls: loops
+// over atomic units or fragments re-check their context every ctxBatch
+// iterations.
+const ctxBatch = 64
 
 // LevelBoxes returns the fragments of level l grouped per owner.
 func (a *Assignment) LevelBoxes(level int) map[int]geom.BoxList {
@@ -130,40 +155,56 @@ type unit struct {
 }
 
 // hierIndex is a per-partition-call cache of one BoxIndex per hierarchy
-// level. Column weights, band weights, and fragment generation all scan
+// level, carrying the call's context for batch-granular cancellation.
+// Column weights, band weights, and fragment generation all scan
 // "this unit's footprint against every box of level l"; the index turns
 // each such scan from O(boxes) into a candidate lookup. A hierIndex is
 // built once per Partition invocation and is not shared across
 // goroutines (the scratch buffer is not synchronized).
 type hierIndex struct {
+	ctx    context.Context
 	h      *grid.Hierarchy
 	levels []*geom.BoxIndex
 	buf    []int
 }
 
-func newHierIndex(h *grid.Hierarchy) *hierIndex {
-	hi := &hierIndex{h: h, levels: make([]*geom.BoxIndex, len(h.Levels))}
+func newHierIndex(ctx context.Context, h *grid.Hierarchy) *hierIndex {
+	hi := &hierIndex{ctx: ctx, h: h, levels: make([]*geom.BoxIndex, len(h.Levels))}
 	for l, lev := range h.Levels {
 		hi.levels[l] = geom.NewBoxIndex(lev.Boxes)
 	}
 	return hi
 }
 
+// check polls the partition call's context.
+func (hi *hierIndex) check() error { return checkCtx(hi.ctx) }
+
 // unitsOf chops the given base-level region into atomic units of size
 // unitSize and weights each by the full-depth workload of the column
 // above it. Zero-weight units (possible only if region lies outside the
-// hierarchy) are kept so coverage stays exact.
-func (hi *hierIndex) unitsOf(region geom.BoxList, unitSize int) []unit {
+// hierarchy) are kept so coverage stays exact. Cancellation is polled
+// once per unit row.
+func (hi *hierIndex) unitsOf(region geom.BoxList, unitSize int) ([]unit, error) {
+	return hi.unitsOfWeighted(region, unitSize, hi.columnWeight)
+}
+
+// unitsOfWeighted is unitsOf with a caller-chosen unit weight (the
+// hybrid partitioner weights units by a level band rather than the full
+// column).
+func (hi *hierIndex) unitsOfWeighted(region geom.BoxList, unitSize int, weight func(geom.Box) int64) ([]unit, error) {
 	var out []unit
 	for _, rb := range region {
 		for y := rb.Lo[1]; y < rb.Hi[1]; y += unitSize {
+			if err := hi.check(); err != nil {
+				return nil, err
+			}
 			for x := rb.Lo[0]; x < rb.Hi[0]; x += unitSize {
 				ub := geom.NewBox2(x, y, minInt(x+unitSize, rb.Hi[0]), minInt(y+unitSize, rb.Hi[1]))
-				out = append(out, unit{box: ub, weight: hi.columnWeight(ub)})
+				out = append(out, unit{box: ub, weight: weight(ub)})
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // columnWeight returns the workload of the hierarchy column over the

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,17 @@ import (
 	"samr/internal/grid"
 	"samr/internal/sfc"
 )
+
+// mustPartition runs p with a background context and fails the test on
+// error (impossible without cancellation).
+func mustPartition(t testing.TB, p Partitioner, h *grid.Hierarchy, np int) *Assignment {
+	t.Helper()
+	a, err := p.Partition(context.Background(), h, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
 
 // testHierarchy builds a 3-level hierarchy with two separated refined
 // regions, one of which carries a level-2 patch.
@@ -43,7 +55,7 @@ func TestAllPartitionersProduceValidAssignments(t *testing.T) {
 	h := testHierarchy()
 	for _, p := range allPartitioners() {
 		for _, np := range []int{1, 2, 4, 16, 32} {
-			a := p.Partition(h, np)
+			a := mustPartition(t, p, h, np)
 			if err := a.Validate(h); err != nil {
 				t.Errorf("%s procs=%d: %v", p.Name(), np, err)
 			}
@@ -54,7 +66,7 @@ func TestAllPartitionersProduceValidAssignments(t *testing.T) {
 func TestPartitionUnrefinedHierarchy(t *testing.T) {
 	h := grid.NewHierarchy(geom.NewBox2(0, 0, 16, 16), 2)
 	for _, p := range allPartitioners() {
-		a := p.Partition(h, 4)
+		a := mustPartition(t, p, h, 4)
 		if err := a.Validate(h); err != nil {
 			t.Errorf("%s: %v", p.Name(), err)
 		}
@@ -66,7 +78,7 @@ func TestPartitionUnrefinedHierarchy(t *testing.T) {
 
 func TestDomainSFCBalancesLoad(t *testing.T) {
 	h := testHierarchy()
-	a := NewDomainSFC().Partition(h, 8)
+	a := mustPartition(t, NewDomainSFC(), h, 8)
 	if imb := a.Imbalance(h); imb > 60 {
 		t.Errorf("domain SFC imbalance = %f%%, want moderate", imb)
 	}
@@ -74,7 +86,7 @@ func TestDomainSFCBalancesLoad(t *testing.T) {
 
 func TestDomainSFCSingleProc(t *testing.T) {
 	h := testHierarchy()
-	a := NewDomainSFC().Partition(h, 1)
+	a := mustPartition(t, NewDomainSFC(), h, 1)
 	if imb := a.Imbalance(h); imb != 0 {
 		t.Errorf("single-proc imbalance = %f", imb)
 	}
@@ -89,7 +101,7 @@ func TestDomainSFCKeepsColumnsTogether(t *testing.T) {
 	// Domain-based property: for any base-space unit, all levels above
 	// it share one owner -> zero inter-level crossings.
 	h := testHierarchy()
-	a := NewDomainSFC().Partition(h, 8)
+	a := mustPartition(t, NewDomainSFC(), h, 8)
 	ownerAt := map[geom.IntVect]int{}
 	for _, f := range a.Fragments {
 		if f.Level != 0 {
@@ -128,7 +140,7 @@ func floorDivT(a, b int) int {
 
 func TestPatchBasedBalancesEachLevel(t *testing.T) {
 	h := testHierarchy()
-	a := NewPatchBased().Partition(h, 4)
+	a := mustPartition(t, NewPatchBased(), h, 4)
 	if err := a.Validate(h); err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +152,7 @@ func TestPatchBasedBalancesEachLevel(t *testing.T) {
 
 func TestPatchBasedSplitsHugePatches(t *testing.T) {
 	h := grid.NewHierarchy(geom.NewBox2(0, 0, 64, 64), 2)
-	a := NewPatchBased().Partition(h, 8)
+	a := mustPartition(t, NewPatchBased(), h, 8)
 	// A single 64x64 patch over 8 procs must split: more than 1 fragment.
 	if len(a.Fragments) < 8 {
 		t.Errorf("expected the base patch to split into >= 8 fragments, got %d", len(a.Fragments))
@@ -171,7 +183,7 @@ func TestNatureFableSeparatesHuesAndCores(t *testing.T) {
 
 func TestNatureFableCoreOwnersDifferFromHueOwners(t *testing.T) {
 	h := testHierarchy()
-	a := NewNatureFable().Partition(h, 8)
+	a := mustPartition(t, NewNatureFable(), h, 8)
 	if err := a.Validate(h); err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +202,7 @@ func TestNatureFableCoreOwnersDifferFromHueOwners(t *testing.T) {
 func TestNatureFableGroupsClamp(t *testing.T) {
 	h := testHierarchy()
 	nf := &NatureFable{Curve: sfc.Hilbert, AtomicUnit: 2, Groups: 64, FractionalBlocking: true}
-	a := nf.Partition(h, 4) // Q far larger than procs
+	a := mustPartition(t, nf, h, 4) // Q far larger than procs
 	if err := a.Validate(h); err != nil {
 		t.Fatal(err)
 	}
@@ -291,8 +303,8 @@ func TestMergeFragmentsPreservesCoverage(t *testing.T) {
 func TestPartitionersDeterministic(t *testing.T) {
 	h := testHierarchy()
 	for _, p := range allPartitioners() {
-		a1 := p.Partition(h, 8)
-		a2 := p.Partition(h, 8)
+		a1 := mustPartition(t, p, h, 8)
+		a2 := mustPartition(t, p, h, 8)
 		if len(a1.Fragments) != len(a2.Fragments) {
 			t.Fatalf("%s: nondeterministic fragment count", p.Name())
 		}
@@ -313,7 +325,7 @@ func TestPartitionersOnRandomHierarchies(t *testing.T) {
 		}
 		for _, p := range allPartitioners() {
 			np := 1 + r.Intn(16)
-			a := p.Partition(h, np)
+			a := mustPartition(t, p, h, np)
 			if err := a.Validate(h); err != nil {
 				t.Errorf("trial %d %s procs=%d: %v", trial, p.Name(), np, err)
 			}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"sort"
 
 	"samr/internal/geom"
@@ -29,8 +30,9 @@ func NewPatchBased() *PatchBased { return &PatchBased{MaxOverIdeal: 1} }
 // Name implements Partitioner.
 func (p *PatchBased) Name() string { return "patch-lpt" }
 
-// Partition implements Partitioner.
-func (p *PatchBased) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
+// Partition implements Partitioner. Cancellation is polled per level
+// and per batch of pieces during bin packing.
+func (p *PatchBased) Partition(ctx context.Context, h *grid.Hierarchy, nprocs int) (*Assignment, error) {
 	over := p.MaxOverIdeal
 	if over <= 0 {
 		over = 1
@@ -38,6 +40,9 @@ func (p *PatchBased) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 	a := &Assignment{NumProcs: nprocs}
 	loads := make([]int64, nprocs) // global loads: balance across levels too
 	for l, lev := range h.Levels {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		w := h.StepFactor(l)
 		var total int64
 		for _, b := range lev.Boxes {
@@ -68,7 +73,12 @@ func (p *PatchBased) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 			}
 			return lessLo(pieces[i], pieces[j])
 		})
-		for _, b := range pieces {
+		for i, b := range pieces {
+			if i%ctxBatch == 0 {
+				if err := checkCtx(ctx); err != nil {
+					return nil, err
+				}
+			}
 			min := 0
 			for q := 1; q < nprocs; q++ {
 				if loads[q] < loads[min] {
@@ -80,7 +90,7 @@ func (p *PatchBased) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 		}
 	}
 	a.Fragments = mergeFragments(a.Fragments)
-	return a
+	return a, nil
 }
 
 func lessLo(a, b geom.Box) bool {

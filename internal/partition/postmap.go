@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 
 	"samr/internal/geom"
@@ -43,9 +44,16 @@ func (pm *PostMapped) Reset() {
 
 // Partition implements Partitioner: it runs the inner partitioner and
 // permutes the part labels to maximize overlap with the previous call's
-// assignment.
-func (pm *PostMapped) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
-	a := pm.Inner.Partition(h, nprocs)
+// assignment. A cancelled call leaves the carried previous-assignment
+// state untouched, so an aborted invocation never poisons the next one.
+func (pm *PostMapped) Partition(ctx context.Context, h *grid.Hierarchy, nprocs int) (*Assignment, error) {
+	a, err := pm.Inner.Partition(ctx, h, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	if pm.prevA != nil && pm.prevA.NumProcs == nprocs {
 		perm := remapLabels(pm.prevH, pm.prevA, h, a)
 		remapped := &Assignment{NumProcs: nprocs, Fragments: make([]Fragment, len(a.Fragments))}
@@ -57,7 +65,7 @@ func (pm *PostMapped) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
 	}
 	pm.prevH = h.Clone()
 	pm.prevA = a
-	return a
+	return a, nil
 }
 
 // remapLabels returns a permutation newOwner -> relabeledOwner that

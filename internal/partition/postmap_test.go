@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"testing"
 
 	"samr/internal/geom"
@@ -17,8 +18,11 @@ type relabelingPartitioner struct {
 
 func (r *relabelingPartitioner) Name() string { return "relabel(" + r.inner.Name() + ")" }
 
-func (r *relabelingPartitioner) Partition(h *grid.Hierarchy, nprocs int) *Assignment {
-	a := r.inner.Partition(h, nprocs)
+func (r *relabelingPartitioner) Partition(ctx context.Context, h *grid.Hierarchy, nprocs int) (*Assignment, error) {
+	a, err := r.inner.Partition(ctx, h, nprocs)
+	if err != nil {
+		return nil, err
+	}
 	shift := r.calls
 	r.calls++
 	out := &Assignment{NumProcs: nprocs, Fragments: make([]Fragment, len(a.Fragments))}
@@ -26,7 +30,7 @@ func (r *relabelingPartitioner) Partition(h *grid.Hierarchy, nprocs int) *Assign
 		f.Owner = (f.Owner + shift) % nprocs
 		out.Fragments[i] = f
 	}
-	return out
+	return out, nil
 }
 
 // migrationBetween counts points that changed owner between two
@@ -50,8 +54,8 @@ func migrationBetween(h *grid.Hierarchy, a, b *Assignment) int64 {
 func TestPostMappedUndoesRelabeling(t *testing.T) {
 	h := testHierarchy()
 	pm := NewPostMapped(&relabelingPartitioner{inner: NewDomainSFC()})
-	a1 := pm.Partition(h, 4)
-	a2 := pm.Partition(h.Clone(), 4)
+	a1 := mustPartition(t, pm, h, 4)
+	a2 := mustPartition(t, pm, h.Clone(), 4)
 	if err := a2.Validate(h); err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +82,8 @@ func TestPostMappedReducesTotalMigration(t *testing.T) {
 		h.Levels = append(h.Levels, grid.Level{Boxes: geom.BoxList{
 			geom.NewBox2(4+s, 4, 24+s, 24),
 		}})
-		raw := inner.Partition(h, 6)
-		mapped := pm.Partition(h, 6)
+		raw := mustPartition(t, inner, h, 6)
+		mapped := mustPartition(t, pm, h, 6)
 		if err := mapped.Validate(h); err != nil {
 			t.Fatal(err)
 		}
@@ -123,11 +127,11 @@ func TestPostMappedPreservesDecomposition(t *testing.T) {
 	h := testHierarchy()
 	inner := NewDomainSFC()
 	pm := NewPostMapped(NewDomainSFC())
-	pm.Partition(h, 4) // prime the previous state
+	mustPartition(t, pm, h, 4) // prime the previous state
 	shifted := h.Clone()
 	shifted.Levels[1].Boxes[0] = shifted.Levels[1].Boxes[0].Shift(geom.IV2(2, 0))
-	raw := inner.Partition(shifted, 4)
-	mapped := pm.Partition(shifted, 4)
+	raw := mustPartition(t, inner, shifted, 4)
+	mapped := mustPartition(t, pm, shifted, 4)
 	rawLoads := raw.Loads(shifted)
 	mapLoads := mapped.Loads(shifted)
 	counts := map[int64]int{}
@@ -147,11 +151,11 @@ func TestPostMappedPreservesDecomposition(t *testing.T) {
 func TestPostMappedReset(t *testing.T) {
 	h := testHierarchy()
 	pm := NewPostMapped(&relabelingPartitioner{inner: NewDomainSFC()})
-	pm.Partition(h, 4)
+	mustPartition(t, pm, h, 4)
 	pm.Reset()
 	// After reset the wrapper must not try to align with forgotten
 	// state; it simply passes the inner result through.
-	a := pm.Partition(h, 4)
+	a := mustPartition(t, pm, h, 4)
 	if err := a.Validate(h); err != nil {
 		t.Fatal(err)
 	}
@@ -162,8 +166,8 @@ func TestPostMappedProcCountChange(t *testing.T) {
 	// wrapper skips remapping when shapes differ.
 	h := testHierarchy()
 	pm := NewPostMapped(NewDomainSFC())
-	pm.Partition(h, 4)
-	a := pm.Partition(h, 8)
+	mustPartition(t, pm, h, 4)
+	a := mustPartition(t, pm, h, 8)
 	if err := a.Validate(h); err != nil {
 		t.Fatal(err)
 	}
@@ -174,8 +178,8 @@ func TestRemapLabelsHandlesEmptyParts(t *testing.T) {
 	// must still be a bijection.
 	h := grid.NewHierarchy(geom.NewBox2(0, 0, 4, 4), 2)
 	pm := NewPostMapped(NewDomainSFC())
-	pm.Partition(h, 8)
-	a := pm.Partition(h, 8)
+	mustPartition(t, pm, h, 8)
+	a := mustPartition(t, pm, h, 8)
 	if err := a.Validate(h); err != nil {
 		t.Fatal(err)
 	}

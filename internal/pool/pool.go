@@ -6,6 +6,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -82,4 +83,106 @@ func ForEach(workers, n int, f func(i int)) {
 // ForEach over a heterogeneous task list.
 func Run(fns ...func()) {
 	ForEach(Workers(), len(fns), func(i int) { fns[i]() })
+}
+
+// MapCtx is ForEach with cancellation and error propagation: it runs
+// f(i) for every i in [0, n) on at most workers goroutines until every
+// call has finished, a call returns a non-nil error, or ctx is
+// cancelled. Once an error or cancellation is observed, no further
+// indices are dispatched and the in-flight calls are drained before
+// MapCtx returns — f is expected to watch ctx itself for prompt
+// mid-call abort.
+//
+// On success (every index ran, all returned nil) the coverage guarantee
+// is exactly ForEach's, so index-slotted output stays bit-identical to
+// a sequential run. On failure the return value is the error of the
+// earliest index that reported one, or ctx.Err() when cancellation cut
+// the dispatch short before an f failed.
+func MapCtx(ctx context.Context, workers, n int, f func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		mu   sync.Mutex
+	)
+	firstIdx := -1
+	var firstErr error
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstIdx < 0 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	done := ctx.Done()
+	work := func() {
+		for !stop.Load() {
+			select {
+			case <-done:
+				stop.Store(true)
+				return
+			default:
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := f(i); err != nil {
+				record(i, err)
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	budget := int64(runtime.GOMAXPROCS(0) - 1)
+	for w := 0; w < workers-1; w++ {
+		if active.Add(1) > budget {
+			active.Add(-1)
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer active.Add(-1)
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstIdx >= 0 {
+		return firstErr
+	}
+	if int(next.Load()) < n {
+		// Cancellation stopped the dispatch before every index ran.
+		return ctx.Err()
+	}
+	return nil
+}
+
+// RunCtx executes the given functions concurrently with the same
+// cancellation contract as MapCtx: it stops dispatching once ctx is
+// cancelled or a function fails, drains what is running, and returns
+// the earliest error.
+func RunCtx(ctx context.Context, fns ...func() error) error {
+	return MapCtx(ctx, Workers(), len(fns), func(i int) error { return fns[i]() })
 }

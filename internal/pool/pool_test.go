@@ -1,6 +1,8 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -59,5 +61,131 @@ func TestRun(t *testing.T) {
 	)
 	if total.Load() != 111 {
 		t.Errorf("Run total = %d", total.Load())
+	}
+}
+
+func TestMapCtxCoversAllIndices(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 500
+		var hits [n]int32
+		err := MapCtx(context.Background(), workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestMapCtxStopsDispatchOnCancel(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 10000
+	var ran atomic.Int64
+	err := MapCtx(ctx, 4, n, func(i int) error {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Dispatch must stop well short of n: every worker stops within one
+	// dispatch of observing the cancellation.
+	if got := ran.Load(); got > 32 {
+		t.Errorf("ran %d of %d indices after cancellation", got, n)
+	}
+}
+
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := MapCtx(ctx, 4, 100, func(i int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("MapCtx dispatched work on a dead context")
+	}
+}
+
+func TestMapCtxSequentialErrorShortCircuits(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := MapCtx(context.Background(), 1, 10, func(i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(ran) != 4 {
+		t.Errorf("sequential path ran %v, want exactly [0 1 2 3]", ran)
+	}
+}
+
+func TestMapCtxParallelReportsEarliestError(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	errA, errB := errors.New("a"), errors.New("b")
+	// Indices 2 and 5 both fail; the reported error must be index 2's
+	// whenever both ran, and one of the two regardless.
+	err := MapCtx(context.Background(), 4, 6, func(i int) error {
+		switch i {
+		case 2:
+			return errA
+		case 5:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) && !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want a failing index's error", err)
+	}
+}
+
+func TestRunCtx(t *testing.T) {
+	var total atomic.Int64
+	err := RunCtx(context.Background(),
+		func() error { total.Add(1); return nil },
+		func() error { total.Add(10); return nil },
+		func() error { total.Add(100); return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 111 {
+		t.Errorf("RunCtx total = %d", total.Load())
+	}
+}
+
+func TestRunCtxPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := RunCtx(context.Background(),
+		func() error { return nil },
+		func() error { return boom },
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestMapCtxEmpty(t *testing.T) {
+	if err := MapCtx(context.Background(), 4, 0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
 	}
 }

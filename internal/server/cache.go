@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -20,21 +21,49 @@ type CacheKey struct {
 	NProcs      int
 }
 
-// PartitionCache is a bounded LRU of partitioning results shared by
-// every request the server handles. Stored assignments are treated as
-// immutable by all readers.
-type PartitionCache struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used; values are *cacheEntry
-	items map[CacheKey]*list.Element
+// Cache dispositions: how a request's result was obtained.
+const (
+	// CacheHit served a previously stored result.
+	CacheHit = "hit"
+	// CacheMiss led a fresh compute (exactly one per distinct in-flight
+	// key: misses count partitioner executions).
+	CacheMiss = "miss"
+	// CacheShared coalesced onto another request's in-flight compute of
+	// the same key (the singleflight path: no duplicate execution).
+	CacheShared = "shared"
+)
 
-	hits, misses atomic.Uint64
+// PartitionCache is a bounded LRU of partitioning results shared by
+// every request the server handles, with singleflight coalescing of
+// concurrent identical misses: while one request computes a key, every
+// other request for the same key waits for that result instead of
+// recomputing it. Stored assignments are treated as immutable by all
+// readers.
+type PartitionCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	items   map[CacheKey]*list.Element
+	flights map[CacheKey]*flight
+
+	hits, misses, shared atomic.Uint64
+
+	// onFlight, when set (tests only), is called outside the lock after
+	// a GetOrCompute call either registers itself as the leader of a
+	// key's compute (leader=true) or joins an existing one (false).
+	onFlight func(k CacheKey, leader bool)
 }
 
 type cacheEntry struct {
 	key CacheKey
 	a   *partition.Assignment
+}
+
+// flight is one in-progress compute; followers wait on done.
+type flight struct {
+	done chan struct{}
+	a    *partition.Assignment
+	err  error
 }
 
 // NewPartitionCache returns a cache holding at most capacity results
@@ -44,27 +73,95 @@ func NewPartitionCache(capacity int) *PartitionCache {
 		capacity = 1
 	}
 	return &PartitionCache{
-		cap:   capacity,
-		order: list.New(),
-		items: make(map[CacheKey]*list.Element, capacity),
+		cap:     capacity,
+		order:   list.New(),
+		items:   make(map[CacheKey]*list.Element, capacity),
+		flights: make(map[CacheKey]*flight),
 	}
 }
 
 // Get returns the cached assignment for k, updating recency and the
-// hit/miss counters.
+// hit counter. A miss is not counted here: miss accounting belongs to
+// GetOrCompute, where a miss implies an execution.
 func (c *PartitionCache) Get(k CacheKey) (*partition.Assignment, bool) {
 	c.mu.Lock()
 	el, ok := c.items[k]
+	var a *partition.Assignment
 	if ok {
 		c.order.MoveToFront(el)
+		// Copy the pointer under the lock: addLocked may refresh the
+		// entry concurrently.
+		a = el.Value.(*cacheEntry).a
 	}
 	c.mu.Unlock()
 	if !ok {
-		c.misses.Add(1)
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).a, true
+	return a, true
+}
+
+// GetOrCompute returns the assignment for k, computing it at most once
+// across concurrent callers: a stored result is a hit; the first caller
+// of an uncached key becomes the leader, runs compute, and stores the
+// result (a miss); callers arriving while that compute is in flight
+// wait for it and share its result (shared). A leader whose compute
+// fails — cancellation is the only error source — reports its error
+// only to itself and to the followers whose own ctx is also dead;
+// followers with a live ctx simply retry, so one client's cancellation
+// never poisons another's request. The returned disposition is one of
+// CacheHit, CacheMiss, CacheShared.
+func (c *PartitionCache) GetOrCompute(ctx context.Context, k CacheKey, compute func() (*partition.Assignment, error)) (*partition.Assignment, string, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[k]; ok {
+			c.order.MoveToFront(el)
+			a := el.Value.(*cacheEntry).a // copy under the lock (addLocked may refresh)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return a, CacheHit, nil
+		}
+		if f, ok := c.flights[k]; ok {
+			c.mu.Unlock()
+			if hook := c.onFlight; hook != nil {
+				hook(k, false)
+			}
+			select {
+			case <-f.done:
+				if f.err == nil {
+					c.shared.Add(1)
+					return f.a, CacheShared, nil
+				}
+				// The leader was cancelled. If this caller is still
+				// live it retries (and may lead the recompute).
+				if err := ctx.Err(); err != nil {
+					return nil, "", err
+				}
+				continue
+			case <-ctx.Done():
+				return nil, "", ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[k] = f
+		c.mu.Unlock()
+		if hook := c.onFlight; hook != nil {
+			hook(k, true)
+		}
+		c.misses.Add(1)
+		f.a, f.err = compute()
+		c.mu.Lock()
+		delete(c.flights, k)
+		if f.err == nil {
+			c.addLocked(k, f.a)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		if f.err != nil {
+			return nil, "", f.err
+		}
+		return f.a, CacheMiss, nil
+	}
 }
 
 // Add stores a (idempotently: a concurrent duplicate compute simply
@@ -73,6 +170,10 @@ func (c *PartitionCache) Get(k CacheKey) (*partition.Assignment, bool) {
 func (c *PartitionCache) Add(k CacheKey, a *partition.Assignment) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.addLocked(k, a)
+}
+
+func (c *PartitionCache) addLocked(k CacheKey, a *partition.Assignment) {
 	if el, ok := c.items[k]; ok {
 		c.order.MoveToFront(el)
 		el.Value.(*cacheEntry).a = a
@@ -93,7 +194,11 @@ func (c *PartitionCache) Len() int {
 	return c.order.Len()
 }
 
-// Stats returns the cumulative hit and miss counts.
-func (c *PartitionCache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+// Capacity returns the cache bound.
+func (c *PartitionCache) Capacity() int { return c.cap }
+
+// Stats returns the cumulative hit, miss, and shared (coalesced) counts.
+// Misses equal actual partitioner executions through GetOrCompute.
+func (c *PartitionCache) Stats() (hits, misses, shared uint64) {
+	return c.hits.Load(), c.misses.Load(), c.shared.Load()
 }

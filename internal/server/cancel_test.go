@@ -1,0 +1,251 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"samr/internal/partition"
+)
+
+// TestExpiredDeadlineIsWireErrorWithoutCompute: a request whose
+// deadline is already over when handling starts must return the
+// documented 504 wire error without ever running a partitioner
+// (acceptance criterion: no call site ignores cancellation).
+func TestExpiredDeadlineIsWireErrorWithoutCompute(t *testing.T) {
+	srv, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	h := testHierarchy(1)
+	r := post(t, ts.URL+"/v1/partition", PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 8}, nil)
+	if r.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", r.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("504 body not the documented JSON error: %v %+v", err, e)
+	}
+	if _, misses, _ := srv.Cache().Stats(); misses != 0 {
+		t.Fatalf("expired request executed %d partitioner runs, want 0", misses)
+	}
+	// Simulate and select are bounded the same way.
+	if r := post(t, ts.URL+"/v1/select", SelectRequest{Hierarchy: &h}, nil); r.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("select status = %d, want 504", r.StatusCode)
+	}
+}
+
+// TestPartitionSingleflight is the coalescing acceptance test: two
+// concurrent identical cache-missing /v1/partition requests must result
+// in exactly one partitioner execution — one request computes ("miss"),
+// the other shares the in-flight result ("shared").
+func TestPartitionSingleflight(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	// Deterministic interleaving: the compute leader blocks until the
+	// second request has joined the flight as a follower.
+	followerJoined := make(chan struct{})
+	srv.Cache().onFlight = func(k CacheKey, leader bool) {
+		if leader {
+			<-followerJoined
+		} else {
+			close(followerJoined)
+		}
+	}
+
+	h := testHierarchy(2)
+	req := PartitionRequest{Hierarchy: &h, Partitioner: "nature+fable", NProcs: 8}
+	dispositions := make([]string, 2)
+	sigs := make([]string, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp PartitionResponse
+			r := post(t, ts.URL+"/v1/partition", req, &resp)
+			if r.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, r.StatusCode)
+				return
+			}
+			dispositions[i] = r.Header.Get("X-Samr-Cache")
+			sigs[i] = resp.Results[0].Signature
+		}(i)
+	}
+	wg.Wait()
+
+	hits, misses, shared := srv.Cache().Stats()
+	if misses != 1 {
+		t.Errorf("partitioner executions (misses) = %d, want exactly 1", misses)
+	}
+	if shared != 1 {
+		t.Errorf("shared = %d, want 1", shared)
+	}
+	if hits != 0 {
+		t.Errorf("hits = %d, want 0", hits)
+	}
+	got := map[string]bool{dispositions[0]: true, dispositions[1]: true}
+	if !got[CacheMiss] || !got[CacheShared] {
+		t.Errorf("dispositions = %v, want one miss and one shared", dispositions)
+	}
+	if sigs[0] != sigs[1] || sigs[0] == "" {
+		t.Errorf("coalesced requests disagree on signature: %q vs %q", sigs[0], sigs[1])
+	}
+}
+
+// TestGetOrComputeLeaderFailureDoesNotPoisonFollowers: when the leader
+// of a flight is cancelled, a follower with a live context retries and
+// computes the result itself rather than inheriting the error.
+func TestGetOrComputeLeaderFailureDoesNotPoisonFollowers(t *testing.T) {
+	c := NewPartitionCache(8)
+	key := CacheKey{Sig: sigOf(0), Partitioner: "x", NProcs: 2}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	followerJoined := make(chan struct{})
+	leaderStarted := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var followerDisp string
+	var followerErr error
+	go func() { // leader: fails with its own cancellation
+		defer wg.Done()
+		_, _, err := c.GetOrCompute(leaderCtx, key, func() (*partition.Assignment, error) {
+			close(leaderStarted)
+			<-followerJoined // ensure the follower joined the flight
+			cancelLeader()
+			return nil, leaderCtx.Err()
+		})
+		if err == nil {
+			t.Error("cancelled leader reported no error")
+		}
+	}()
+	go func() { // follower: must retry and succeed
+		defer wg.Done()
+		<-leaderStarted
+		close(followerJoined)
+		var a *partition.Assignment
+		a, followerDisp, followerErr = c.GetOrCompute(context.Background(), key, func() (*partition.Assignment, error) {
+			return &partition.Assignment{NumProcs: 2}, nil
+		})
+		if a == nil {
+			t.Error("follower got nil assignment")
+		}
+	}()
+	wg.Wait()
+	if followerErr != nil {
+		t.Fatalf("follower inherited the leader's failure: %v", followerErr)
+	}
+	// The follower either joined the flight and retried as the new
+	// leader (miss) or raced past the flight entirely (miss) — either
+	// way it must have computed, not shared a failure.
+	if followerDisp != CacheMiss {
+		t.Errorf("follower disposition = %q, want miss (own compute)", followerDisp)
+	}
+}
+
+// TestPartitionCancelMidBatchNoGoroutineLeak: cancelling a batched
+// /v1/partition mid-compute aborts promptly with the 499-style outcome
+// and leaves no goroutines behind (pool helpers drain).
+func TestPartitionCancelMidBatchNoGoroutineLeak(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel the request the moment the first compute starts: the
+	// partitioner aborts at its next poll, mid-batch.
+	s.Cache().onFlight = func(k CacheKey, leader bool) {
+		if leader {
+			cancel()
+		}
+	}
+	batch := make([]Hierarchy, 16)
+	for i := range batch {
+		batch[i] = testHierarchy(i)
+	}
+	body, err := json.Marshal(PartitionRequest{Hierarchies: batch, Partitioner: "nature+fable", NProcs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	settle := func() int {
+		runtime.GC()
+		return runtime.NumGoroutine()
+	}
+	baseline := settle()
+
+	req := httptest.NewRequest("POST", "/v1/partition", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeHTTP(rec, req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled batch did not abort promptly")
+	}
+	if rec.Code != StatusClientClosedRequest && rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 499 (cancel) wire error", rec.Code)
+	}
+
+	// Goroutine count must settle back to the baseline (the request
+	// goroutine and any pool helpers are gone).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := settle(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatsEndpoint: /v1/stats reports cache counters, the in-flight
+// gauge, the pool size, and per-endpoint request/error totals.
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	h := testHierarchy(0)
+	post(t, ts.URL+"/v1/partition", PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 4}, nil)
+	post(t, ts.URL+"/v1/partition", PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 4}, nil)
+	post(t, ts.URL+"/v1/partition", PartitionRequest{Partitioner: "domain"}, nil) // 400: no hierarchy
+
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", r.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Cache.Shared != 0 {
+		t.Errorf("cache counters = %+v, want 1 hit / 1 miss / 0 shared", st.Cache)
+	}
+	if st.Cache.Entries != 1 || st.Cache.Capacity <= 0 {
+		t.Errorf("cache occupancy = %d/%d", st.Cache.Entries, st.Cache.Capacity)
+	}
+	if st.PoolSize < 1 {
+		t.Errorf("pool size = %d", st.PoolSize)
+	}
+	// The stats request itself is in flight while it is served.
+	if st.InFlight < 1 {
+		t.Errorf("in-flight = %d, want >= 1", st.InFlight)
+	}
+	ep := st.Endpoints["partition"]
+	if ep.Requests != 3 || ep.Errors != 1 {
+		t.Errorf("partition endpoint = %+v, want 3 requests / 1 error", ep)
+	}
+	if st.Endpoints["stats"].Requests != 1 {
+		t.Errorf("stats endpoint = %+v, want its own request counted", st.Endpoints["stats"])
+	}
+}

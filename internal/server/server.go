@@ -9,22 +9,35 @@
 //	POST /v1/partition  run a named partitioner at a processor count
 //	POST /v1/simulate   trace-driven evaluation over a registered trace
 //	GET  /v1/traces     list the trace registry
+//	GET  /v1/stats      cache counters, in-flight requests, per-endpoint totals
 //	GET  /healthz       liveness
 //
-// Two properties make it a service rather than an RPC wrapper: results
-// of /v1/partition are kept in a content-addressed LRU cache keyed by
-// (hierarchy signature, partitioner, nprocs), so the repeated regrid
-// states real SAMR runs produce are answered without recomputation; and
-// batch work fans out over the process-wide internal/pool budget, so
-// concurrent requests share the machine instead of oversubscribing it.
+// Three properties make it a service rather than an RPC wrapper.
+// Results of /v1/partition are kept in a content-addressed LRU cache
+// keyed by (hierarchy signature, partitioner, nprocs), so the repeated
+// regrid states real SAMR runs produce are answered without
+// recomputation — and concurrent identical misses are coalesced by a
+// singleflight group on the same key, so a thundering herd computes
+// once. Batch work fans out over the process-wide internal/pool
+// budget, so concurrent requests share the machine instead of
+// oversubscribing it. And every request is bounded by a context: the
+// handler threads the request context (optionally capped by
+// Config.RequestTimeout) down through pool dispatch, partitioners, and
+// the simulator, so an abandoned or over-deadline request stops
+// consuming CPU mid-batch instead of running to completion. A request
+// whose deadline expires returns 504 with a JSON error; one whose
+// client disconnected returns the nginx-conventional 499.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"samr/internal/core"
 	"samr/internal/grid"
@@ -49,6 +62,15 @@ type Config struct {
 	PartitionCost float64
 	// Machine is the simulator's machine model (zero = DefaultMachine).
 	Machine sim.Machine
+	// RequestTimeout caps each request's handling: the request context
+	// is given this deadline and every layer below (pool dispatch,
+	// partitioners, simulator) aborts once it expires. Zero disables
+	// the cap (the client's own context still cancels).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 64 MB — deep
+	// hierarchies are a few MB of JSON, so that is ample headroom
+	// without inviting abuse).
+	MaxBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -67,12 +89,22 @@ func (c Config) withDefaults() Config {
 	if c.Machine == (sim.Machine{}) {
 		c.Machine = sim.DefaultMachine()
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
 	return c
 }
 
-// maxBodyBytes bounds request bodies; deep hierarchies are a few MB of
-// JSON, so 64 MB leaves ample headroom without inviting abuse.
-const maxBodyBytes = 64 << 20
+// StatusClientClosedRequest is the nginx-conventional status for a
+// request whose client went away before a response was produced. It is
+// recorded in logs/metrics; the disconnected client never sees it.
+const StatusClientClosedRequest = 499
+
+// endpointStats is one endpoint's cumulative request/error counters.
+type endpointStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
 
 // Server is the samrd HTTP service.
 type Server struct {
@@ -80,6 +112,9 @@ type Server struct {
 	cache    *PartitionCache
 	registry *TraceRegistry
 	mux      *http.ServeMux
+
+	inFlight  atomic.Int64
+	endpoints map[string]*endpointStats
 }
 
 // New builds a server, loading every trace already present in
@@ -88,18 +123,20 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    NewPartitionCache(cfg.CacheSize),
-		registry: NewTraceRegistry(cfg.TraceDir),
+		cfg:       cfg,
+		cache:     NewPartitionCache(cfg.CacheSize),
+		registry:  NewTraceRegistry(cfg.TraceDir),
+		endpoints: make(map[string]*endpointStats),
 	}
 	if _, err := s.registry.LoadDir(); err != nil {
 		return nil, err
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
-	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("POST /v1/select", s.instrument("select", s.handleSelect))
+	s.mux.HandleFunc("POST /v1/partition", s.instrument("partition", s.handlePartition))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("GET /v1/traces", s.instrument("traces", s.handleTraces))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n")) //nolint:errcheck
 	})
@@ -115,8 +152,42 @@ func (s *Server) Cache() *PartitionCache { return s.cache }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	s.mux.ServeHTTP(w, r)
+}
+
+// instrument wraps a handler with the per-endpoint request/error
+// counters, the process-wide in-flight gauge, and the per-request
+// deadline from Config.RequestTimeout.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	es := &endpointStats{}
+	s.endpoints[name] = es
+	return func(w http.ResponseWriter, r *http.Request) {
+		es.requests.Add(1)
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		if sw.code >= 400 {
+			es.errors.Add(1)
+		}
+	}
+}
+
+// statusWriter records the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -127,6 +198,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeFailure maps an execution error onto the wire: an exceeded
+// deadline is 504 Gateway Timeout, a client cancellation is 499, and
+// anything else (none today: cancellation is the only error source
+// below the handlers) is a 500.
+func writeFailure(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded: %v", err)
+	case errors.Is(err, context.Canceled):
+		writeErr(w, StatusClientClosedRequest, "request cancelled: %v", err)
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -174,6 +260,17 @@ func (s *Server) checkProcs(w http.ResponseWriter, nprocs *int) bool {
 	return true
 }
 
+// checkLive rejects a request whose context is already dead (expired
+// deadline or departed client) before any expensive work starts: the
+// documented wire error is returned without running a partitioner.
+func (s *Server) checkLive(w http.ResponseWriter, r *http.Request) bool {
+	if err := r.Context().Err(); err != nil {
+		writeFailure(w, err)
+		return false
+	}
+	return true
+}
+
 // handleSelect classifies the submitted hierarchies in order through a
 // fresh meta-partitioner, so a posted regrid sequence reproduces the
 // in-process hysteresis behavior exactly.
@@ -190,6 +287,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if !s.checkProcs(w, &req.NProcs) {
 		return
 	}
+	if !s.checkLive(w, r) {
+		return
+	}
 	cost := req.PartitionCost
 	if cost <= 0 {
 		cost = s.cfg.PartitionCost
@@ -197,6 +297,10 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	meta := core.NewMetaPartitioner(cost)
 	resp := SelectResponse{Selections: make([]Selection, len(hs))}
 	for i, h := range hs {
+		if err := r.Context().Err(); err != nil {
+			writeFailure(w, err)
+			return
+		}
 		slot := float64(h.Workload()) * s.cfg.Machine.CellTime / float64(req.NProcs)
 		p := meta.Select(h, slot)
 		sample, _ := meta.LastSample()
@@ -206,9 +310,13 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePartition runs the requested partitioner over every submitted
-// hierarchy, fanning the batch out over the shared worker pool and
-// serving repeated regrid states from the content-addressed cache.
+// hierarchy, fanning the batch out over the shared worker pool, serving
+// repeated regrid states from the content-addressed cache, and
+// coalescing concurrent identical misses through the cache's
+// singleflight group. The whole batch is bounded by the request
+// context: cancellation aborts mid-batch and returns the wire error.
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	var req PartitionRequest
 	if !decode(w, r, &req) {
 		return
@@ -226,21 +334,25 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	if !s.checkProcs(w, &req.NProcs) {
 		return
 	}
+	if !s.checkLive(w, r) {
+		return
+	}
 
 	name := canonical.Name()
 	results := make([]PartitionResult, len(hs))
-	pool.ForEach(pool.Workers(), len(hs), func(i int) {
+	err = pool.MapCtx(ctx, pool.Workers(), len(hs), func(i int) error {
 		h := hs[i]
 		key := CacheKey{Sig: h.Signature(), Partitioner: name, NProcs: req.NProcs}
-		a, cached := s.cache.Get(key)
-		if !cached {
+		a, disp, err := s.cache.GetOrCompute(ctx, key, func() (*partition.Assignment, error) {
 			// A fresh instance per unit keeps stateful wrappers
 			// (postmap) from sharing state across goroutines and keeps
 			// every cached result a pure function of its key. The spec
 			// already parsed once, so this cannot fail.
 			p, _ := ParsePartitioner(req.Partitioner)
-			a = p.Partition(h, req.NProcs)
-			s.cache.Add(key, a)
+			return p.Partition(ctx, h, req.NProcs)
+		})
+		if err != nil {
+			return err
 		}
 		res := PartitionResult{
 			Signature:   key.Sig.String(),
@@ -249,36 +361,39 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 			Fragments:   make([]Fragment, len(a.Fragments)),
 			Loads:       a.Loads(h),
 			Imbalance:   a.Imbalance(h),
-			Cached:      cached,
+			Cached:      disp == CacheHit,
+			Cache:       disp,
 		}
 		for j, f := range a.Fragments {
 			res.Fragments[j] = Fragment{Level: f.Level, Box: fromGeomBox(f.Box), Owner: f.Owner}
 		}
 		results[i] = res
+		return nil
 	})
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
 
 	// Cache headers: the per-request disposition plus the cumulative
 	// process-wide counters, so operators (and the acceptance test) can
-	// watch hit rates without a metrics endpoint.
-	nHit := 0
+	// watch hit and coalescing rates without polling /v1/stats.
+	counts := map[string]int{}
 	for _, res := range results {
-		if res.Cached {
-			nHit++
+		counts[res.Cache]++
+	}
+	disposition := "mixed"
+	for _, d := range []string{CacheHit, CacheMiss, CacheShared} {
+		if counts[d] == len(results) {
+			disposition = d
 		}
 	}
-	disposition := "miss"
-	switch nHit {
-	case len(results):
-		disposition = "hit"
-	case 0:
-	default:
-		disposition = "mixed"
-	}
-	hits, misses := s.cache.Stats()
+	hits, misses, shared := s.cache.Stats()
 	hdr := w.Header()
 	hdr.Set("X-Samr-Cache", disposition)
 	hdr.Set("X-Samr-Cache-Hits", strconv.FormatUint(hits, 10))
 	hdr.Set("X-Samr-Cache-Misses", strconv.FormatUint(misses, 10))
+	hdr.Set("X-Samr-Cache-Shared", strconv.FormatUint(shared, 10))
 	if len(results) == 1 {
 		hdr.Set("X-Samr-Signature", results[0].Signature)
 	}
@@ -286,8 +401,10 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSimulate replays a registered trace through the simulator
-// (whose pipeline already fans out over the shared pool).
+// (whose pipeline already fans out over the shared pool and honours the
+// request context at every phase).
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	var req SimulateRequest
 	if !decode(w, r, &req) {
 		return
@@ -300,6 +417,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !s.checkProcs(w, &req.NProcs) {
 		return
 	}
+	if !s.checkLive(w, r) {
+		return
+	}
 	if req.Steps > 0 && req.Steps < len(tr.Snapshots) {
 		trunc := *tr
 		trunc.Snapshots = tr.Snapshots[:req.Steps]
@@ -307,19 +427,25 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var res *sim.Result
+	var err error
 	if req.Meta {
 		meta := core.NewMetaPartitioner(s.cfg.PartitionCost)
-		res = sim.SimulateTraceSelect(tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
+		res, err = sim.SimulateTraceSelect(ctx, tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
 			slot := float64(h.Workload()) * s.cfg.Machine.CellTime / float64(req.NProcs)
 			return meta.Select(h, slot)
 		}, req.NProcs, s.cfg.Machine)
 	} else {
-		p, err := ParsePartitioner(req.Partitioner)
+		var p partition.Partitioner
+		p, err = ParsePartitioner(req.Partitioner)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		res = sim.SimulateTrace(tr, p, req.NProcs, s.cfg.Machine)
+		res, err = sim.SimulateTrace(ctx, tr, p, req.NProcs, s.cfg.Machine)
+	}
+	if err != nil {
+		writeFailure(w, err)
+		return
 	}
 
 	resp := SimulateResponse{
@@ -341,4 +467,29 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, TracesResponse{Traces: s.registry.List()})
+}
+
+// handleStats reports the service's operational counters. The in-flight
+// gauge includes this stats request itself.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, shared := s.cache.Stats()
+	resp := StatsResponse{
+		Cache: CacheCounters{
+			Hits:     hits,
+			Misses:   misses,
+			Shared:   shared,
+			Entries:  s.cache.Len(),
+			Capacity: s.cache.Capacity(),
+		},
+		InFlight:  s.inFlight.Load(),
+		PoolSize:  pool.Workers(),
+		Endpoints: make(map[string]EndpointCounters, len(s.endpoints)),
+	}
+	for name, es := range s.endpoints {
+		resp.Endpoints[name] = EndpointCounters{
+			Requests: es.requests.Load(),
+			Errors:   es.errors.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -371,9 +371,9 @@ func TestConcurrentMixedRequests(t *testing.T) {
 	for e := range errs {
 		t.Error(e)
 	}
-	hits, misses := srv.Cache().Stats()
+	hits, misses, shared := srv.Cache().Stats()
 	if hits == 0 {
-		t.Errorf("concurrent repeated states produced no cache hits (hits=%d misses=%d)", hits, misses)
+		t.Errorf("concurrent repeated states produced no cache hits (hits=%d misses=%d shared=%d)", hits, misses, shared)
 	}
 }
 

@@ -171,6 +171,9 @@ type PartitionResult struct {
 	// Cached reports whether this result was served from the partition
 	// cache.
 	Cached bool `json:"cached"`
+	// Cache is the full disposition: "hit", "miss", or "shared" (the
+	// result was coalesced onto another request's in-flight compute).
+	Cache string `json:"cache"`
 }
 
 // PartitionResponse returns one result per submitted hierarchy.
@@ -250,4 +253,37 @@ type TracesResponse struct {
 // ErrorResponse is the JSON body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// CacheCounters is the partition cache's cumulative accounting.
+type CacheCounters struct {
+	// Hits served a stored result; Misses led a fresh compute (misses
+	// equal partitioner executions); Shared coalesced onto another
+	// request's in-flight compute.
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Shared  uint64 `json:"shared"`
+	Entries int    `json:"entries"`
+	// Capacity is the LRU bound.
+	Capacity int `json:"capacity"`
+}
+
+// EndpointCounters is one endpoint's cumulative request accounting.
+type EndpointCounters struct {
+	Requests uint64 `json:"requests"`
+	// Errors counts responses with status >= 400 (including 499/504
+	// cancellation outcomes).
+	Errors uint64 `json:"errors"`
+}
+
+// StatsResponse is the reply of GET /v1/stats.
+type StatsResponse struct {
+	Cache CacheCounters `json:"cache"`
+	// InFlight is the number of requests currently being handled,
+	// including the stats request itself.
+	InFlight int64 `json:"in_flight"`
+	// PoolSize is the process-wide worker-pool width batch work fans
+	// out over.
+	PoolSize  int                         `json:"pool_size"`
+	Endpoints map[string]EndpointCounters `json:"endpoints"`
 }

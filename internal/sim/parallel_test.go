@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -31,6 +32,16 @@ func withProcs(t *testing.T, n int) {
 	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
 }
 
+// mustSimulate runs the pipeline with the background context.
+func mustSimulate(t *testing.T, tr *trace.Trace, choose func(int, *grid.Hierarchy) partition.Partitioner, nprocs int, m Machine, workers int) *Result {
+	t.Helper()
+	res, err := simulateTrace(context.Background(), tr, choose, nprocs, m, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 // requireIdentical asserts two results agree bit-for-bit, step for step.
 func requireIdentical(t *testing.T, seq, par *Result) {
 	t.Helper()
@@ -59,9 +70,9 @@ func TestSimulateTraceParallelDeterministic(t *testing.T) {
 		return func(step int, h *grid.Hierarchy) partition.Partitioner { return p }
 	}
 	p := partition.NewNatureFable()
-	seq := simulateTrace(tr, chooser(p), 8, m, 1)
+	seq := mustSimulate(t, tr, chooser(p), 8, m, 1)
 	for _, workers := range []int{2, 3, 8} {
-		par := simulateTrace(tr, chooser(p), 8, m, workers)
+		par := mustSimulate(t, tr, chooser(p), 8, m, workers)
 		requireIdentical(t, seq, par)
 	}
 }
@@ -77,8 +88,8 @@ func TestSimulateTraceParallelStateful(t *testing.T) {
 		return partition.NewPostMapped(&partition.DomainSFC{Curve: sfc.Hilbert, UnitSize: 2})
 	}
 	pSeq, pPar := mk(), mk()
-	seq := simulateTrace(tr, func(int, *grid.Hierarchy) partition.Partitioner { return pSeq }, 8, m, 1)
-	par := simulateTrace(tr, func(int, *grid.Hierarchy) partition.Partitioner { return pPar }, 8, m, 4)
+	seq := mustSimulate(t, tr, func(int, *grid.Hierarchy) partition.Partitioner { return pSeq }, 8, m, 1)
+	par := mustSimulate(t, tr, func(int, *grid.Hierarchy) partition.Partitioner { return pPar }, 8, m, 4)
 	requireIdentical(t, seq, par)
 }
 
@@ -91,7 +102,7 @@ func TestSimulateTraceParallelDynamic(t *testing.T) {
 	m := DefaultMachine()
 	run := func(workers int) *Result {
 		meta := core.NewMetaPartitioner(2e-4)
-		return simulateTrace(tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
+		return mustSimulate(t, tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
 			return meta.Select(h, 1e-3)
 		}, 8, m, workers)
 	}

@@ -19,10 +19,15 @@
 // parallel per-step evaluation writing into pre-sized slots by index,
 // and migration chaining over consecutive precomputed assignments. The
 // phases are arranged so the output is bit-identical to a sequential
-// run at any worker count.
+// run at any worker count. Every phase honours the caller's context:
+// cancellation stops the pool dispatch, aborts partitioners mid-flight,
+// and returns a nil result with the context's error.
 package sim
 
 import (
+	"context"
+	"fmt"
+
 	"samr/internal/geom"
 	"samr/internal/grid"
 	"samr/internal/partition"
@@ -108,10 +113,23 @@ func ownedFragments(a *partition.Assignment, numLevels int) [][]partition.Fragme
 	return out
 }
 
+// checkCtx polls ctx, wrapping its error for the simulator layer.
+func checkCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
 // Evaluate computes the partition-quality metrics of one assignment on
 // one hierarchy (everything except migration, which needs the previous
-// step).
-func Evaluate(h *grid.Hierarchy, a *partition.Assignment, m Machine) StepMetrics {
+// step). Cancellation is polled per level and per fragment batch; a
+// cancelled call returns the zero StepMetrics and ctx's error, never a
+// partially accumulated one.
+func Evaluate(ctx context.Context, h *grid.Hierarchy, a *partition.Assignment, m Machine) (StepMetrics, error) {
+	if err := checkCtx(ctx); err != nil {
+		return StepMetrics{}, err
+	}
 	sm := StepMetrics{Loads: a.Loads(h), Imbalance: a.Imbalance(h)}
 	perLevel := ownedFragments(a, len(h.Levels))
 
@@ -144,6 +162,11 @@ func Evaluate(h *grid.Hierarchy, a *partition.Assignment, m Machine) StepMetrics
 		steps := h.StepFactor(l)
 		pairs := map[pair]bool{}
 		for i, f := range frags {
+			if i%256 == 0 {
+				if err := checkCtx(ctx); err != nil {
+					return StepMetrics{}, err
+				}
+			}
 			grown := f.Box.Grow(1)
 			buf = indexes[l].AppendQuery(buf[:0], grown)
 			for _, j := range buf {
@@ -171,7 +194,12 @@ func Evaluate(h *grid.Hierarchy, a *partition.Assignment, m Machine) StepMetrics
 	for l := 1; l < len(h.Levels); l++ {
 		coarseSteps := h.StepFactor(l - 1)
 		pairs := map[pair]bool{}
-		for _, f := range perLevel[l] {
+		for fi, f := range perLevel[l] {
+			if fi%256 == 0 {
+				if err := checkCtx(ctx); err != nil {
+					return StepMetrics{}, err
+				}
+			}
 			under := f.Box.Coarsen(h.RefRatio)
 			buf = indexes[l-1].AppendQuery(buf[:0], under)
 			for _, ci := range buf {
@@ -210,7 +238,7 @@ func Evaluate(h *grid.Hierarchy, a *partition.Assignment, m Machine) StepMetrics
 		}
 	}
 	sm.EstTime = worst
-	return sm
+	return sm, nil
 }
 
 // Migration returns the number of grid points that exist in both
@@ -271,9 +299,10 @@ func (r *Result) MeanImbalance() float64 {
 // SimulateTrace partitions every snapshot of the trace with p and
 // evaluates each step, chaining consecutive assignments for the
 // migration metric. This is the paper's experimental pipeline with a
-// statically configured partitioner.
-func SimulateTrace(tr *trace.Trace, p partition.Partitioner, nprocs int, m Machine) *Result {
-	return SimulateTraceSelect(tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
+// statically configured partitioner. A cancelled run returns a nil
+// Result and ctx's error — never a truncated result.
+func SimulateTrace(ctx context.Context, tr *trace.Trace, p partition.Partitioner, nprocs int, m Machine) (*Result, error) {
+	return SimulateTraceSelect(ctx, tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
 		return p
 	}, nprocs, m)
 }
@@ -281,8 +310,8 @@ func SimulateTrace(tr *trace.Trace, p partition.Partitioner, nprocs int, m Machi
 // SimulateTraceSelect is SimulateTrace with a per-step partitioner
 // choice: the hook the meta-partitioner uses to realize fully dynamic
 // PACs (partitioner as a function of application state and time).
-func SimulateTraceSelect(tr *trace.Trace, choose func(step int, h *grid.Hierarchy) partition.Partitioner, nprocs int, m Machine) *Result {
-	return simulateTrace(tr, choose, nprocs, m, pool.Workers())
+func SimulateTraceSelect(ctx context.Context, tr *trace.Trace, choose func(step int, h *grid.Hierarchy) partition.Partitioner, nprocs int, m Machine) (*Result, error) {
+	return simulateTrace(ctx, tr, choose, nprocs, m, pool.Workers())
 }
 
 // stateful reports whether a partitioner carries state between
@@ -306,18 +335,26 @@ func stateful(p partition.Partitioner) bool {
 // always fans out, with each goroutine writing Steps[i] by index, and a
 // cheap sequential-equivalent pass chains the migration metric over the
 // precomputed per-step assignments. The result is bit-identical to the
-// workers=1 path for any worker count.
-func simulateTrace(tr *trace.Trace, choose func(step int, h *grid.Hierarchy) partition.Partitioner, nprocs int, m Machine, workers int) *Result {
+// workers=1 path for any worker count. Cancellation propagates into
+// every phase through pool.MapCtx and the partitioners' own polls; a
+// cancelled run returns nil.
+func simulateTrace(ctx context.Context, tr *trace.Trace, choose func(step int, h *grid.Hierarchy) partition.Partitioner, nprocs int, m Machine, workers int) (*Result, error) {
 	res := &Result{NumProcs: nprocs}
 	n := len(tr.Snapshots)
 	if n == 0 {
-		return res
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 
 	// Phase 1 (sequential): per-step partitioner choice.
 	ps := make([]partition.Partitioner, n)
 	anyStateful := false
 	for i, snap := range tr.Snapshots {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		ps[i] = choose(snap.Step, snap.H)
 		anyStateful = anyStateful || stateful(ps[i])
 	}
@@ -334,25 +371,44 @@ func simulateTrace(tr *trace.Trace, choose func(step int, h *grid.Hierarchy) par
 	as := make([]*partition.Assignment, n)
 	if anyStateful {
 		for i, snap := range tr.Snapshots {
-			as[i] = ps[i].Partition(snap.H, nprocs)
+			a, err := ps[i].Partition(ctx, snap.H, nprocs)
+			if err != nil {
+				return nil, err
+			}
+			as[i] = a
 		}
 	} else {
-		pool.ForEach(workers, n, func(i int) {
-			as[i] = ps[i].Partition(tr.Snapshots[i].H, nprocs)
+		err := pool.MapCtx(ctx, workers, n, func(i int) error {
+			a, err := ps[i].Partition(ctx, tr.Snapshots[i].H, nprocs)
+			if err != nil {
+				return err
+			}
+			as[i] = a
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Phase 3 (parallel): evaluate each step into its own slot.
 	res.Steps = make([]StepMetrics, n)
-	pool.ForEach(workers, n, func(i int) {
-		sm := Evaluate(tr.Snapshots[i].H, as[i], m)
+	err := pool.MapCtx(ctx, workers, n, func(i int) error {
+		sm, err := Evaluate(ctx, tr.Snapshots[i].H, as[i], m)
+		if err != nil {
+			return err
+		}
 		sm.Step = tr.Snapshots[i].Step
 		res.Steps[i] = sm
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 4 (parallel over consecutive pairs): chain the migration
 	// metric over the precomputed assignments.
-	pool.ForEach(workers, n-1, func(j int) {
+	err = pool.MapCtx(ctx, workers, n-1, func(j int) error {
 		i := j + 1
 		sm := &res.Steps[i]
 		sm.Migration = Migration(tr.Snapshots[i-1].H, tr.Snapshots[i].H, as[i-1], as[i])
@@ -360,6 +416,10 @@ func simulateTrace(tr *trace.Trace, choose func(step int, h *grid.Hierarchy) par
 			sm.RelativeMigration = float64(sm.Migration) / float64(np)
 		}
 		sm.EstTime += float64(sm.Migration) / m.MigrationBandwidth
+		return nil
 	})
-	return res
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }

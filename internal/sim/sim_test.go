@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"samr/internal/geom"
@@ -8,6 +9,30 @@ import (
 	"samr/internal/partition"
 	"samr/internal/trace"
 )
+
+// bg is the background context of the non-cancellation tests.
+var bg = context.Background()
+
+// mustPartition partitions with the background context, failing on the
+// impossible error path.
+func mustPartition(t testing.TB, p partition.Partitioner, h *grid.Hierarchy, np int) *partition.Assignment {
+	t.Helper()
+	a, err := p.Partition(bg, h, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// mustEvaluate evaluates with the background context.
+func mustEvaluate(t testing.TB, h *grid.Hierarchy, a *partition.Assignment, m Machine) StepMetrics {
+	t.Helper()
+	sm, err := Evaluate(bg, h, a, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
 
 func flat(n int) *grid.Hierarchy {
 	return grid.NewHierarchy(geom.NewBox2(0, 0, n, n), 2)
@@ -34,7 +59,7 @@ func halves(h *grid.Hierarchy) *partition.Assignment {
 func TestEvaluateFlatHalves(t *testing.T) {
 	h := flat(32)
 	a := halves(h)
-	m := Evaluate(h, a, DefaultMachine())
+	m := mustEvaluate(t, h, a, DefaultMachine())
 	if m.Imbalance != 0 {
 		t.Errorf("perfect split imbalance = %f", m.Imbalance)
 	}
@@ -60,8 +85,8 @@ func TestEvaluateFlatHalves(t *testing.T) {
 
 func TestEvaluateSingleProcNoComm(t *testing.T) {
 	h := refined(geom.NewBox2(8, 8, 24, 24))
-	a := partition.NewDomainSFC().Partition(h, 1)
-	m := Evaluate(h, a, DefaultMachine())
+	a := mustPartition(t, partition.NewDomainSFC(), h, 1)
+	m := mustEvaluate(t, h, a, DefaultMachine())
 	if m.TotalComm() != 0 || m.Messages != 0 {
 		t.Errorf("single processor should have zero comm, got %d/%d msgs", m.TotalComm(), m.Messages)
 	}
@@ -76,7 +101,7 @@ func TestEvaluateInterLevelComm(t *testing.T) {
 		{Level: 0, Box: h.Domain, Owner: 0},
 		{Level: 1, Box: geom.NewBox2(8, 8, 24, 24), Owner: 1},
 	}}
-	m := Evaluate(h, a, DefaultMachine())
+	m := mustEvaluate(t, h, a, DefaultMachine())
 	if m.InterLevelComm != 64 {
 		t.Errorf("InterLevelComm = %d, want 64", m.InterLevelComm)
 	}
@@ -91,11 +116,11 @@ func TestDomainBasedHasNoInterLevelComm(t *testing.T) {
 	h := refined(geom.NewBox2(8, 8, 24, 24))
 	h.Levels = append(h.Levels, grid.Level{Boxes: geom.BoxList{geom.NewBox2(20, 20, 40, 40)}})
 	for _, np := range []int{2, 4, 8} {
-		a := partition.NewDomainSFC().Partition(h, np)
+		a := mustPartition(t, partition.NewDomainSFC(), h, np)
 		if err := a.Validate(h); err != nil {
 			t.Fatal(err)
 		}
-		m := Evaluate(h, a, DefaultMachine())
+		m := mustEvaluate(t, h, a, DefaultMachine())
 		if m.InterLevelComm != 0 {
 			t.Errorf("procs=%d: domain-based inter-level comm = %d, want 0", np, m.InterLevelComm)
 		}
@@ -105,8 +130,8 @@ func TestDomainBasedHasNoInterLevelComm(t *testing.T) {
 func TestPatchBasedHasInterLevelComm(t *testing.T) {
 	// The characteristic weakness of patch-based partitioning.
 	h := refined(geom.NewBox2(8, 8, 24, 24))
-	a := partition.NewPatchBased().Partition(h, 4)
-	m := Evaluate(h, a, DefaultMachine())
+	a := mustPartition(t, partition.NewPatchBased(), h, 4)
+	m := mustEvaluate(t, h, a, DefaultMachine())
 	if m.InterLevelComm == 0 {
 		t.Error("patch-based partitioning of a refined grid should incur inter-level comm")
 	}
@@ -117,7 +142,7 @@ func TestFinerLevelsCommunicateMoreOften(t *testing.T) {
 	// transfers because level 1 steps twice per coarse step.
 	h0 := flat(32)
 	a0 := halves(h0)
-	m0 := Evaluate(h0, a0, DefaultMachine())
+	m0 := mustEvaluate(t, h0, a0, DefaultMachine())
 
 	h1 := flat(32)
 	h1.Levels = append(h1.Levels, grid.Level{Boxes: geom.BoxList{geom.NewBox2(0, 0, 64, 64)}})
@@ -126,7 +151,7 @@ func TestFinerLevelsCommunicateMoreOften(t *testing.T) {
 		{Level: 1, Box: geom.NewBox2(0, 0, 32, 64), Owner: 0},
 		{Level: 1, Box: geom.NewBox2(32, 0, 64, 64), Owner: 1},
 	}}
-	m1 := Evaluate(h1, a1, DefaultMachine())
+	m1 := mustEvaluate(t, h1, a1, DefaultMachine())
 	// Level-1 boundary: 64 cells each way = 128 per local step, at 2
 	// local steps = 256.
 	if m1.IntraLevelComm != 256 {
@@ -139,7 +164,7 @@ func TestFinerLevelsCommunicateMoreOften(t *testing.T) {
 
 func TestMigrationZeroWhenOwnershipStable(t *testing.T) {
 	h := refined(geom.NewBox2(8, 8, 24, 24))
-	a := partition.NewDomainSFC().Partition(h, 4)
+	a := mustPartition(t, partition.NewDomainSFC(), h, 4)
 	if m := Migration(h, h.Clone(), a, a); m != 0 {
 		t.Errorf("identical assignment migration = %d", m)
 	}
@@ -185,7 +210,10 @@ func sampleTrace() *trace.Trace {
 
 func TestSimulateTrace(t *testing.T) {
 	tr := sampleTrace()
-	res := SimulateTrace(tr, partition.NewNatureFable(), 8, DefaultMachine())
+	res, err := SimulateTrace(bg, tr, partition.NewNatureFable(), 8, DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Steps) != 5 {
 		t.Fatalf("steps = %d", len(res.Steps))
 	}
@@ -215,9 +243,12 @@ func TestSimulateTrace(t *testing.T) {
 func TestSimulateTraceSelectDynamic(t *testing.T) {
 	tr := sampleTrace()
 	pats := []partition.Partitioner{partition.NewDomainSFC(), partition.NewPatchBased()}
-	res := SimulateTraceSelect(tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
+	res, err := SimulateTraceSelect(bg, tr, func(step int, h *grid.Hierarchy) partition.Partitioner {
 		return pats[step%2]
 	}, 4, DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.PartitionerName != "dynamic" {
 		t.Errorf("PartitionerName = %q, want dynamic", res.PartitionerName)
 	}
@@ -254,8 +285,8 @@ func TestEvaluateImbalanceCouplesCommIntoTime(t *testing.T) {
 		})
 	}
 	striped := &partition.Assignment{NumProcs: 2, Fragments: frags}
-	mGood := Evaluate(h, good, DefaultMachine())
-	mStriped := Evaluate(h, striped, DefaultMachine())
+	mGood := mustEvaluate(t, h, good, DefaultMachine())
+	mStriped := mustEvaluate(t, h, striped, DefaultMachine())
 	if mStriped.TotalComm() <= mGood.TotalComm() {
 		t.Fatal("striping should raise communication")
 	}
@@ -278,7 +309,7 @@ func TestMessagesAggregatePerOwnerPair(t *testing.T) {
 		})
 	}
 	a := &partition.Assignment{NumProcs: 2, Fragments: frags}
-	m := Evaluate(h, a, DefaultMachine())
+	m := mustEvaluate(t, h, a, DefaultMachine())
 	// Exactly two ordered owner pairs (0<-1 and 1<-0), one level, one
 	// local step.
 	if m.Messages != 2 {
@@ -288,8 +319,8 @@ func TestMessagesAggregatePerOwnerPair(t *testing.T) {
 
 func TestMigrationSymmetricUnderSwap(t *testing.T) {
 	h := refined(geom.NewBox2(8, 8, 24, 24))
-	a := partition.NewDomainSFC().Partition(h, 4)
-	b := partition.NewPatchBased().Partition(h, 4)
+	a := mustPartition(t, partition.NewDomainSFC(), h, 4)
+	b := mustPartition(t, partition.NewPatchBased(), h, 4)
 	fwd := Migration(h, h.Clone(), a, b)
 	rev := Migration(h, h.Clone(), b, a)
 	if fwd != rev {
@@ -300,10 +331,32 @@ func TestMigrationSymmetricUnderSwap(t *testing.T) {
 func TestMigrationBoundedByShared(t *testing.T) {
 	hPrev := refined(geom.NewBox2(0, 0, 16, 16))
 	hCur := refined(geom.NewBox2(8, 8, 24, 24))
-	aPrev := partition.NewDomainSFC().Partition(hPrev, 4)
-	aCur := partition.NewPatchBased().Partition(hCur, 4)
+	aPrev := mustPartition(t, partition.NewDomainSFC(), hPrev, 4)
+	aCur := mustPartition(t, partition.NewPatchBased(), hCur, 4)
 	shared := grid.TotalOverlap(hPrev, hCur)
 	if m := Migration(hPrev, hCur, aPrev, aCur); m < 0 || m > shared {
 		t.Errorf("migration %d outside [0, shared=%d]", m, shared)
+	}
+}
+
+func TestSimulateTraceCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SimulateTrace(ctx, sampleTrace(), partition.NewNatureFable(), 8, DefaultMachine())
+	if err == nil {
+		t.Fatal("cancelled simulation returned no error")
+	}
+	if res != nil {
+		t.Fatalf("cancelled simulation returned a partial result (%d steps)", len(res.Steps))
+	}
+}
+
+func TestEvaluateCancelled(t *testing.T) {
+	h := flat(32)
+	a := halves(h)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Evaluate(ctx, h, a, DefaultMachine()); err == nil {
+		t.Fatal("cancelled Evaluate returned no error")
 	}
 }

@@ -19,18 +19,25 @@
 //
 // This facade re-exports the names most programs need; the full API
 // lives in the internal packages (importable within this module), one
-// per subsystem. Typical use:
+// per subsystem. Every execution entry point (partitioning, evaluation,
+// trace simulation) takes a context.Context: partitioners poll it at
+// box-batch granularity, so a cancelled or over-deadline call aborts
+// promptly with the context's error and never returns a partial
+// result. Typical use:
 //
 //	tr, _ := samr.GenerateTrace("BL2D", samr.PaperConfig(), 100)
 //	meta := samr.NewMetaPartitioner(2e-4)
+//	ctx := context.Background()
 //	for _, snap := range tr.Snapshots {
 //	    p := meta.Select(snap.H, 0.01)
-//	    a := p.Partition(snap.H, 16)
-//	    _ = a
+//	    a, err := p.Partition(ctx, snap.H, 16)
+//	    _, _ = a, err
 //	}
 package samr
 
 import (
+	"context"
+
 	"samr/internal/amr"
 	"samr/internal/apps"
 	"samr/internal/core"
@@ -138,20 +145,24 @@ func NewPostMapped(inner Partitioner) Partitioner { return partition.NewPostMapp
 
 // MeasurePartitionCost times one partitioner invocation, the measured
 // input to the dimension-II (speed vs. quality) model.
-func MeasurePartitionCost(p Partitioner, h *Hierarchy, nprocs, reps int) float64 {
-	return core.MeasurePartitionCost(p, h, nprocs, reps)
+func MeasurePartitionCost(ctx context.Context, p Partitioner, h *Hierarchy, nprocs, reps int) (float64, error) {
+	return core.MeasurePartitionCost(ctx, p, h, nprocs, reps)
 }
 
 // DefaultMachine returns the commodity-cluster machine model.
 func DefaultMachine() Machine { return sim.DefaultMachine() }
 
-// Evaluate computes partition-quality metrics of one assignment.
-func Evaluate(h *Hierarchy, a *Assignment, m Machine) StepMetrics { return sim.Evaluate(h, a, m) }
+// Evaluate computes partition-quality metrics of one assignment. A
+// cancelled ctx aborts the scan and returns the context's error.
+func Evaluate(ctx context.Context, h *Hierarchy, a *Assignment, m Machine) (StepMetrics, error) {
+	return sim.Evaluate(ctx, h, a, m)
+}
 
 // SimulateTrace partitions every trace snapshot with p and evaluates
-// each step, chaining assignments for the migration metric.
-func SimulateTrace(tr *Trace, p Partitioner, nprocs int, m Machine) *sim.Result {
-	return sim.SimulateTrace(tr, p, nprocs, m)
+// each step, chaining assignments for the migration metric. The run is
+// bounded by ctx: cancellation aborts mid-trace with no partial result.
+func SimulateTrace(ctx context.Context, tr *Trace, p Partitioner, nprocs int, m Machine) (*sim.Result, error) {
+	return sim.SimulateTrace(ctx, tr, p, nprocs, m)
 }
 
 // DefaultProcs is the processor count of the paper-style validation

@@ -1,6 +1,7 @@
 package samr
 
 import (
+	"context"
 	"testing"
 )
 
@@ -19,14 +20,21 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	meta := NewMetaPartitioner(2e-4)
 	m := DefaultMachine()
+	ctx := context.Background()
 	var prev *Hierarchy
 	for _, snap := range tr.Snapshots {
 		p := meta.Select(snap.H, 1e-3)
-		a := p.Partition(snap.H, 4)
+		a, err := p.Partition(ctx, snap.H, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := a.Validate(snap.H); err != nil {
 			t.Fatal(err)
 		}
-		sm := Evaluate(snap.H, a, m)
+		sm, err := Evaluate(ctx, snap.H, a, m)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if sm.EstTime <= 0 {
 			t.Error("non-positive execution-time estimate")
 		}
@@ -55,7 +63,10 @@ func TestFacadePenalties(t *testing.T) {
 func TestFacadePartitioners(t *testing.T) {
 	h := NewHierarchy(NewBox2(0, 0, 16, 16), 2)
 	for _, p := range []Partitioner{NewDomainSFC(), NewPatchBased(), NewNatureFable()} {
-		a := p.Partition(h, 4)
+		a, err := p.Partition(context.Background(), h, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := a.Validate(h); err != nil {
 			t.Errorf("%s: %v", p.Name(), err)
 		}
@@ -70,7 +81,10 @@ func TestFacadeSimulateTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := SimulateTrace(tr, NewNatureFable(), 4, DefaultMachine())
+	res, err := SimulateTrace(context.Background(), tr, NewNatureFable(), 4, DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Steps) != tr.Len() {
 		t.Errorf("steps = %d, want %d", len(res.Steps), tr.Len())
 	}
