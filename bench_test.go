@@ -28,7 +28,7 @@ import (
 // paper-scale trace outside the timed region.
 func paperTrace(b *testing.B, app string) *trace.Trace {
 	b.Helper()
-	tr, err := apps.PaperTrace(app)
+	tr, err := apps.PaperTrace(context.Background(), app)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	cfg.MaxLevels = 3
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := apps.Generate("TP2D", cfg, 10); err != nil {
+		if _, err := apps.Generate(context.Background(), "TP2D", cfg, 10); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -46,9 +46,9 @@ func main() {
 			f.Close()
 		}
 	case *quick:
-		tr, err = apps.QuickTrace(*app)
+		tr, err = apps.QuickTrace(ctx, *app)
 	default:
-		tr, err = apps.PaperTrace(*app)
+		tr, err = apps.PaperTrace(ctx, *app)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metapart:", err)

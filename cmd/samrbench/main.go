@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"samr/internal/apps"
@@ -35,11 +37,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("experiment", "all", "fig1, fig4, fig5, fig6, fig7, trajectory, ablationA, ablationB, ablationC, ablationD, ablationE, or all")
-		procs  = flag.Int("procs", experiments.DefaultProcs, "number of processors to simulate")
-		quick  = flag.Bool("quick", false, "use reduced-scale traces (16x16 base, 3 levels, 20 steps)")
-		trPath = flag.String("trace", "", "use a trace file instead of generating the experiment's default trace")
-		format = flag.String("format", "table", "figure output format: table or csv")
+		exp        = flag.String("experiment", "all", "fig1, fig4, fig5, fig6, fig7, trajectory, ablationA, ablationB, ablationC, ablationD, ablationE, or all")
+		procs      = flag.Int("procs", experiments.DefaultProcs, "number of processors to simulate")
+		quick      = flag.Bool("quick", false, "use reduced-scale traces (16x16 base, 3 levels, 20 steps)")
+		trPath     = flag.String("trace", "", "use a trace file instead of generating the experiment's default trace")
+		format     = flag.String("format", "table", "figure output format: table or csv")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	// Ctrl-C cancels the context; the cancellation threads through the
@@ -47,10 +51,43 @@ func main() {
 	// instead of running the remaining figures to completion.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *exp, *procs, *quick, *trPath, *format == "csv"); err != nil {
+	if err := profiled(*cpuprofile, *memprofile, func() error {
+		return run(ctx, *exp, *procs, *quick, *trPath, *format == "csv")
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "samrbench:", err)
 		os.Exit(1)
 	}
+}
+
+// profiled brackets f with the optional pprof captures so hot-path
+// claims about the experiment pipeline are inspectable.
+func profiled(cpuprofile, memprofile string, f func() error) error {
+	if cpuprofile != "" {
+		cf, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	if memprofile != "" {
+		mf, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC() // flush recent garbage so the profile shows live objects
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // emit prints a figure in the selected format.
@@ -81,9 +118,9 @@ func run(ctx context.Context, exp string, procs int, quick bool, trPath string, 
 			return trace.Read(f)
 		}
 		if quick {
-			return apps.QuickTrace(app)
+			return apps.QuickTrace(ctx, app)
 		}
-		return apps.PaperTrace(app)
+		return apps.PaperTrace(ctx, app)
 	}
 
 	one := func(name string) error {

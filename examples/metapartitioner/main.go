@@ -34,9 +34,9 @@ func main() {
 		var tr *trace.Trace
 		var err error
 		if *quick {
-			tr, err = apps.QuickTrace(app)
+			tr, err = apps.QuickTrace(ctx, app)
 		} else {
-			tr, err = apps.PaperTrace(app)
+			tr, err = apps.PaperTrace(ctx, app)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -31,9 +31,9 @@ func main() {
 	var tr *trace.Trace
 	var err error
 	if *quick {
-		tr, err = apps.QuickTrace("BL2D")
+		tr, err = apps.QuickTrace(ctx, "BL2D")
 	} else {
-		tr, err = apps.PaperTrace("BL2D")
+		tr, err = apps.PaperTrace(ctx, "BL2D")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

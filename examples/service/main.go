@@ -23,6 +23,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -45,7 +46,7 @@ func main() {
 func run() error {
 	// A real deployment runs `samrd -traces <dir>` and registers traces
 	// as files; in process we inject the trace directly.
-	tr, err := apps.QuickTrace("TP2D")
+	tr, err := apps.QuickTrace(context.Background(), "TP2D")
 	if err != nil {
 		return err
 	}

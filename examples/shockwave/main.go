@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,12 +25,13 @@ func main() {
 	procs := flag.Int("procs", 16, "processors (scales the time-slot estimate)")
 	flag.Parse()
 
+	ctx := context.Background()
 	var tr *trace.Trace
 	var err error
 	if *quick {
-		tr, err = apps.QuickTrace("RM2D")
+		tr, err = apps.QuickTrace(ctx, "RM2D")
 	} else {
-		tr, err = apps.PaperTrace("RM2D")
+		tr, err = apps.PaperTrace(ctx, "RM2D")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,6 +1,7 @@
 package amr
 
 import (
+	"context"
 	"testing"
 
 	"samr/internal/geom"
@@ -108,7 +109,7 @@ func TestHierarchyTracksMovingFeature(t *testing.T) {
 }
 
 func TestRunProducesValidTrace(t *testing.T) {
-	tr, err := Run(solver.NewTransport(), smallConfig(), 12)
+	tr, err := Run(context.Background(), solver.NewTransport(), smallConfig(), 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestAllKernelsRunStably(t *testing.T) {
 		k := k
 		t.Run(k.Name(), func(t *testing.T) {
 			t.Parallel()
-			tr, err := Run(k, smallConfig(), 8)
+			tr, err := Run(context.Background(), k, smallConfig(), 8)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package amr
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -133,7 +134,7 @@ func TestDriverDeterminism(t *testing.T) {
 func TestTraceWorkloadConsistency(t *testing.T) {
 	// Workload and point counts recorded through the trace must match
 	// recomputation from the boxes (no stale caching anywhere).
-	tr, err := Run(solver.NewScalarWave(), smallConfig(), 6)
+	tr, err := Run(context.Background(), solver.NewScalarWave(), smallConfig(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}

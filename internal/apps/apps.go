@@ -8,6 +8,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -66,13 +67,15 @@ func PaperConfig() amr.Config {
 const PaperSteps = 100
 
 // Generate runs the named application for steps coarse steps and
-// returns its trace.
-func Generate(name string, cfg amr.Config, steps int) (*trace.Trace, error) {
+// returns its trace. The run is bounded by ctx: a cancelled generation
+// aborts between patch work units and returns a nil trace with the
+// context's error.
+func Generate(ctx context.Context, name string, cfg amr.Config, steps int) (*trace.Trace, error) {
 	k, err := Kernel(name)
 	if err != nil {
 		return nil, err
 	}
-	return amr.Run(k, cfg, steps)
+	return amr.Run(ctx, k, cfg, steps)
 }
 
 var (
@@ -82,14 +85,21 @@ var (
 
 // PaperTrace returns the named application's paper-configuration trace,
 // generating it on first use and caching it for the life of the
-// process. The returned trace is shared: callers must not mutate it.
-func PaperTrace(name string) (*trace.Trace, error) {
+// process. The returned trace is shared: callers must not mutate it. A
+// cancelled ctx aborts the caller's own generation (nothing is
+// cached); note the cache lock is held across generation, so a caller
+// that loses the race waits for the winner's run before its ctx is
+// consulted — a cached hit is then returned regardless of ctx.
+func PaperTrace(ctx context.Context, name string) (*trace.Trace, error) {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if tr, ok := cache[name]; ok {
 		return tr, nil
 	}
-	tr, err := Generate(name, PaperConfig(), PaperSteps)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr, err := Generate(ctx, name, PaperConfig(), PaperSteps)
 	if err != nil {
 		return nil, err
 	}
@@ -100,17 +110,20 @@ func PaperTrace(name string) (*trace.Trace, error) {
 // QuickTrace returns a reduced-scale trace (16x16 base, 3 levels, 20
 // steps) of the named application, cached like PaperTrace. Tests and
 // examples use it to keep runtimes low.
-func QuickTrace(name string) (*trace.Trace, error) {
+func QuickTrace(ctx context.Context, name string) (*trace.Trace, error) {
 	key := "quick/" + name
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if tr, ok := cache[key]; ok {
 		return tr, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg := PaperConfig()
 	cfg.BaseSize = 16
 	cfg.MaxLevels = 3
-	tr, err := Generate(name, cfg, 20)
+	tr, err := Generate(ctx, name, cfg, 20)
 	if err != nil {
 		return nil, err
 	}

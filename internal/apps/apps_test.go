@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -44,7 +45,7 @@ func TestQuickTraceAllApps(t *testing.T) {
 		n := n
 		t.Run(n, func(t *testing.T) {
 			t.Parallel()
-			tr, err := QuickTrace(n)
+			tr, err := QuickTrace(context.Background(), n)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -62,11 +63,11 @@ func TestQuickTraceAllApps(t *testing.T) {
 }
 
 func TestQuickTraceCached(t *testing.T) {
-	a, err := QuickTrace("TP2D")
+	a, err := QuickTrace(context.Background(), "TP2D")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := QuickTrace("TP2D")
+	b, err := QuickTrace(context.Background(), "TP2D")
 	if err != nil {
 		t.Fatal(err)
 	}

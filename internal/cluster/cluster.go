@@ -92,15 +92,31 @@ func Cluster(tags *TagField, domain geom.Box, opts Options) geom.BoxList {
 	}
 	pts := make([]geom.IntVect, 0, len(tags.cells))
 	for p := range tags.cells {
+		pts = append(pts, p)
+	}
+	return ClusterPoints(pts, domain, opts)
+}
+
+// ClusterPoints is Cluster over a plain point list (duplicates
+// allowed only if the caller accepts their double weight in the
+// efficiency metric; the AMR driver's per-patch tag scan never
+// produces any, since patch interiors are disjoint). The output is
+// independent of the order of pts: every splitting decision is made on
+// bounding boxes and per-plane histograms of the point set. Callers
+// with tags already in slices — the parallel driver collects one list
+// per patch — skip the TagField map entirely.
+func ClusterPoints(pts []geom.IntVect, domain geom.Box, opts Options) geom.BoxList {
+	in := pts[:0:0]
+	for _, p := range pts {
 		if domain.Contains(p) {
-			pts = append(pts, p)
+			in = append(in, p)
 		}
 	}
-	if len(pts) == 0 {
+	if len(in) == 0 {
 		return nil
 	}
 	var out geom.BoxList
-	recurse(pts, domain, opts, &out, 0)
+	recurse(in, domain, opts, &out, 0)
 	return out
 }
 

@@ -25,7 +25,7 @@ func noErr(t *testing.T, err error) {
 // quick returns the reduced-scale trace for tests.
 func quick(t *testing.T, app string) *trace.Trace {
 	t.Helper()
-	tr, err := apps.QuickTrace(app)
+	tr, err := apps.QuickTrace(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,73 @@
+package field
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Patch data slabs come from a size-classed free list so regridding —
+// which rebuilds whole levels every few steps — stops hitting the
+// allocator for every patch. Slabs are classed by capacity rounded up
+// to the next power of two; acquire hands out a slab of the exact
+// requested length over a pooled backing array, release returns the
+// backing array to its class. The pools are sync.Pools, so reuse is
+// safe from concurrent driver workers and idle slabs are reclaimed by
+// the GC under memory pressure.
+
+// minSlabBits is the smallest pooled class (2^6 = 64 floats = 512 B);
+// smaller requests are rounded up to it.
+const minSlabBits = 6
+
+// maxSlabBits bounds the pooled classes (2^26 floats = 512 MB); larger
+// requests fall through to plain make and are dropped on release.
+const maxSlabBits = 26
+
+var slabPools [maxSlabBits + 1]sync.Pool
+
+// slabClass returns the pool class for a slab of n floats, or -1 when n
+// is out of the pooled range.
+func slabClass(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	c := bits.Len(uint(n - 1))
+	if c < minSlabBits {
+		c = minSlabBits
+	}
+	if c > maxSlabBits {
+		return -1
+	}
+	return c
+}
+
+// acquireSlab returns a slab of length n whose contents are arbitrary
+// (callers overwrite or zero it).
+func acquireSlab(n int) []float64 {
+	c := slabClass(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	if v := slabPools[c].Get(); v != nil {
+		return (*v.(*[]float64))[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// acquireSlabZero returns a zeroed slab of length n.
+func acquireSlabZero(n int) []float64 {
+	s := acquireSlab(n)
+	clear(s)
+	return s
+}
+
+// releaseSlab returns s to its size class. s must not be used again.
+func releaseSlab(s []float64) {
+	c := slabClass(cap(s))
+	if c < 0 || cap(s) != 1<<c {
+		// Not a pooled shape (oversized or externally built); let the
+		// GC have it rather than polluting a class with odd capacities.
+		return
+	}
+	s = s[:cap(s)]
+	slabPools[c].Put(&s)
+}

@@ -16,7 +16,7 @@ import (
 
 func quickTrace(t *testing.T) *trace.Trace {
 	t.Helper()
-	tr, err := apps.QuickTrace("TP2D")
+	tr, err := apps.QuickTrace(context.Background(), "TP2D")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"samr/internal/geom"
 	"samr/internal/grid"
@@ -121,6 +122,62 @@ func checkCtx(ctx context.Context) error {
 	return nil
 }
 
+// pairSet tracks (receiver, sender) processor pairs as a flat flag
+// array keyed dst*nprocs+src, with a touched-key list so clearing costs
+// O(pairs seen) instead of O(nprocs^2). It replaces the per-level
+// map[pair]bool the hot evaluation loop used to allocate and hash.
+type pairSet struct {
+	flags []bool
+	keys  []int
+}
+
+// reset prepares the set for nprocs processors, clearing any pairs left
+// from the previous use.
+func (s *pairSet) reset(nprocs int) {
+	for _, k := range s.keys {
+		s.flags[k] = false
+	}
+	s.keys = s.keys[:0]
+	if n := nprocs * nprocs; len(s.flags) < n {
+		s.flags = make([]bool, n)
+	}
+}
+
+// add records key k = dst*nprocs+src once.
+func (s *pairSet) add(k int) {
+	if !s.flags[k] {
+		s.flags[k] = true
+		s.keys = append(s.keys, k)
+	}
+}
+
+// evalScratch is the reusable working state of one Evaluate call: the
+// per-processor accumulators, the pair set, the BoxIndex query buffer,
+// and the per-level slice headers. A sync.Pool recycles it across
+// calls (and across the worker pool's concurrent evaluations), so a
+// trace run stops allocating these per snapshot.
+type evalScratch struct {
+	comm    []int64
+	msgs    []int64
+	pairs   pairSet
+	buf     []int
+	indexes []*geom.BoxIndex
+	boxes   geom.BoxList
+}
+
+var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// grow64 returns a zeroed int64 slice of length n, reusing s's backing
+// array when it is large enough.
+func grow64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // Evaluate computes the partition-quality metrics of one assignment on
 // one hierarchy (everything except migration, which needs the previous
 // step). Cancellation is polled per level and per fragment batch; a
@@ -132,38 +189,59 @@ func Evaluate(ctx context.Context, h *grid.Hierarchy, a *partition.Assignment, m
 	}
 	sm := StepMetrics{Loads: a.Loads(h), Imbalance: a.Imbalance(h)}
 	perLevel := ownedFragments(a, len(h.Levels))
+	nprocs := a.NumProcs
 
-	commPerProc := make([]int64, a.NumProcs)
-	msgsPerProc := make([]int64, a.NumProcs)
-	// Messages are aggregated per (receiver, sender) pair per local
-	// step, as real ghost-exchange implementations pack all fragment
-	// transfers between two processors into one message.
-	type pair struct{ dst, src int }
+	sc := evalScratchPool.Get().(*evalScratch)
+	defer evalScratchPool.Put(sc)
+	sc.comm = grow64(sc.comm, nprocs)
+	sc.msgs = grow64(sc.msgs, nprocs)
+	commPerProc := sc.comm
+	msgsPerProc := sc.msgs
 
 	// One BoxIndex per level over the fragment boxes serves both the
 	// intra-level halo scan (query the grown box) and the level-above
 	// inter-level scan (query the coarsened footprint).
-	indexes := make([]*geom.BoxIndex, len(perLevel))
+	if cap(sc.indexes) < len(perLevel) {
+		sc.indexes = make([]*geom.BoxIndex, len(perLevel))
+	}
+	indexes := sc.indexes[:len(perLevel)]
+	// One box arena carved into disjoint per-level sub-slices: each
+	// BoxIndex captures its list by reference, so levels must not share
+	// storage, but the arena is reused across Evaluate calls (the
+	// indexes die with the call).
+	total := 0
+	for _, frags := range perLevel {
+		total += len(frags)
+	}
+	if cap(sc.boxes) < total {
+		sc.boxes = make(geom.BoxList, total)
+	}
+	arena := sc.boxes[:total]
 	for l, frags := range perLevel {
-		bl := make(geom.BoxList, len(frags))
+		bl := arena[:len(frags):len(frags)]
+		arena = arena[len(frags):]
 		for i, f := range frags {
 			bl[i] = f.Box
 		}
 		indexes[l] = geom.NewBoxIndex(bl)
 	}
-	var buf []int
+	buf := sc.buf
 
 	// Intra-level ghost exchange: for every fragment, the one-cell halo
 	// cells covered by a different owner's fragment are imported every
 	// local step. The halo overlap |(Grow(1) \ Box) x g| is computed as
 	// |Grow(1) x g| - |Box x g| (the halo pieces tile exactly that
-	// difference), avoiding the per-pair halo BoxList rebuild.
+	// difference), avoiding the per-pair halo BoxList rebuild. Messages
+	// are aggregated per (receiver, sender) pair per local step — real
+	// ghost-exchange implementations pack all fragment transfers
+	// between two processors into one message — in the flat pair set.
 	for l, frags := range perLevel {
 		steps := h.StepFactor(l)
-		pairs := map[pair]bool{}
+		sc.pairs.reset(nprocs)
 		for i, f := range frags {
 			if i%256 == 0 {
 				if err := checkCtx(ctx); err != nil {
+					sc.buf = buf
 					return StepMetrics{}, err
 				}
 			}
@@ -178,13 +256,13 @@ func Evaluate(ctx context.Context, h *grid.Hierarchy, a *partition.Assignment, m
 				if vol > 0 {
 					sm.IntraLevelComm += vol * steps
 					commPerProc[f.Owner] += vol * steps
-					pairs[pair{f.Owner, g.Owner}] = true
+					sc.pairs.add(f.Owner*nprocs + g.Owner)
 				}
 			}
 		}
-		for p := range pairs {
-			sm.Messages += steps
-			msgsPerProc[p.dst] += steps
+		sm.Messages += int64(len(sc.pairs.keys)) * steps
+		for _, k := range sc.pairs.keys {
+			msgsPerProc[k/nprocs] += steps
 		}
 	}
 
@@ -193,10 +271,11 @@ func Evaluate(ctx context.Context, h *grid.Hierarchy, a *partition.Assignment, m
 	// coarse local step when the owners differ.
 	for l := 1; l < len(h.Levels); l++ {
 		coarseSteps := h.StepFactor(l - 1)
-		pairs := map[pair]bool{}
+		sc.pairs.reset(nprocs)
 		for fi, f := range perLevel[l] {
 			if fi%256 == 0 {
 				if err := checkCtx(ctx); err != nil {
+					sc.buf = buf
 					return StepMetrics{}, err
 				}
 			}
@@ -211,15 +290,16 @@ func Evaluate(ctx context.Context, h *grid.Hierarchy, a *partition.Assignment, m
 				if vol > 0 {
 					sm.InterLevelComm += vol * coarseSteps
 					commPerProc[f.Owner] += vol * coarseSteps
-					pairs[pair{f.Owner, c.Owner}] = true
+					sc.pairs.add(f.Owner*nprocs + c.Owner)
 				}
 			}
 		}
-		for p := range pairs {
-			sm.Messages += coarseSteps
-			msgsPerProc[p.dst] += coarseSteps
+		sm.Messages += int64(len(sc.pairs.keys)) * coarseSteps
+		for _, k := range sc.pairs.keys {
+			msgsPerProc[k/nprocs] += coarseSteps
 		}
 	}
+	sc.buf = buf
 
 	if w := h.Workload(); w > 0 {
 		sm.RelativeComm = float64(sm.TotalComm()) / float64(w)

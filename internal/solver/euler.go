@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"samr/internal/field"
-	"samr/internal/geom"
 )
 
 // Euler is the RM2D kernel: the 2-D compressible Euler equations solved
@@ -80,22 +79,34 @@ func (k *Euler) Init(p *field.Patch, g Geometry) {
 	// Post-shock state from the normal-shock relations with p1=1,rho1=1.
 	rho2 := ((gam+1)*pr + (gam - 1)) / ((gam-1)*pr + (gam + 1))
 	u2 := (pr - 1) * math.Sqrt(2/(gam*((gam+1)*pr+(gam-1))))
-	p.GrownBox().Cells(func(q geom.IntVect) {
-		x, y := g.Center(q[0], q[1])
-		iface := 0.55 + k.Amplitude*math.Cos(2*math.Pi*float64(k.Modes)*y)
-		var st [4]float64
-		switch {
-		case x < 0.35: // shocked region
-			st = k.conserved(rho2, u2, 0, pr)
-		case x < iface: // ambient light fluid
-			st = k.conserved(1, 0, 0, 1)
-		default: // heavy fluid
-			st = k.conserved(3, 0, 0, 1)
-		}
+	shocked := k.conserved(rho2, u2, 0, pr)
+	light := k.conserved(1, 0, 0, 1)
+	heavy := k.conserved(3, 0, 0, 1)
+	gb := p.GrownBox()
+	var rows [4][]float64
+	for j := gb.Lo[1]; j < gb.Hi[1]; j++ {
 		for c := 0; c < 4; c++ {
-			p.Set(c, q[0], q[1], st[c])
+			rows[c] = p.Row(c, j)
 		}
-	})
+		_, y := g.Center(0, j)
+		// The interface position depends only on y; hoist it.
+		iface := 0.55 + k.Amplitude*math.Cos(2*math.Pi*float64(k.Modes)*y)
+		for i := range rows[0] {
+			x, _ := g.Center(gb.Lo[0]+i, 0)
+			var st [4]float64
+			switch {
+			case x < 0.35: // shocked region
+				st = shocked
+			case x < iface: // ambient light fluid
+				st = light
+			default: // heavy fluid
+				st = heavy
+			}
+			for c := 0; c < 4; c++ {
+				rows[c][i] = st[c]
+			}
+		}
+	}
 }
 
 // flux returns the x-direction physical flux of the state.
@@ -127,9 +138,10 @@ func (k *Euler) rusanov(l, r [4]float64) [4]float64 {
 	return out
 }
 
-// stateAt gathers the conserved vector at (i, j).
-func stateAt(p *field.Patch, i, j int) [4]float64 {
-	return [4]float64{p.At(0, i, j), p.At(1, i, j), p.At(2, i, j), p.At(3, i, j)}
+// gather returns the conserved vector at row offset o of the four
+// component rows.
+func gather(rows *[4][]float64, o int) [4]float64 {
+	return [4]float64{rows[0][o], rows[1][o], rows[2][o], rows[3][o]}
 }
 
 // swapMom exchanges the momentum components, mapping a y-oriented state
@@ -138,33 +150,39 @@ func swapMom(s [4]float64) [4]float64 { return [4]float64{s[0], s[2], s[1], s[3]
 
 func (k *Euler) Step(p *field.Patch, t, dt float64, g Geometry) {
 	old := p.Clone()
+	defer old.Release()
 	lam := dt / g.Dx
-	p.Box.Cells(func(q geom.IntVect) {
-		i, j := q[0], q[1]
-		c0 := stateAt(old, i, j)
-		// X-direction fluxes.
-		fxm := k.rusanov(stateAt(old, i-1, j), c0)
-		fxp := k.rusanov(c0, stateAt(old, i+1, j))
-		// Y-direction fluxes in the swapped frame.
-		fym := k.rusanov(swapMom(stateAt(old, i, j-1)), swapMom(c0))
-		fyp := k.rusanov(swapMom(c0), swapMom(stateAt(old, i, j+1)))
-		fym, fyp = swapMom(fym), swapMom(fyp)
+	b := p.Box
+	off := -p.GrownBox().Lo[0]
+	var rm, rc, rp, dst [4][]float64
+	for j := b.Lo[1]; j < b.Hi[1]; j++ {
 		for c := 0; c < 4; c++ {
-			v := c0[c] - lam*(fxp[c]-fxm[c]) - lam*(fyp[c]-fym[c])
-			p.Set(c, i, j, v)
+			rm[c] = old.Row(c, j-1)
+			rc[c] = old.Row(c, j)
+			rp[c] = old.Row(c, j+1)
+			dst[c] = p.Row(c, j)
 		}
-		// Positivity floor on density and pressure.
-		rho := p.At(0, i, j)
-		if rho < 1e-8 {
-			p.Set(0, i, j, 1e-8)
+		for i := b.Lo[0]; i < b.Hi[0]; i++ {
+			o := i + off
+			c0 := gather(&rc, o)
+			// X-direction fluxes.
+			fxm := k.rusanov(gather(&rc, o-1), c0)
+			fxp := k.rusanov(c0, gather(&rc, o+1))
+			// Y-direction fluxes in the swapped frame.
+			fym := k.rusanov(swapMom(gather(&rm, o)), swapMom(c0))
+			fyp := k.rusanov(swapMom(c0), swapMom(gather(&rp, o)))
+			fym, fyp = swapMom(fym), swapMom(fyp)
+			for c := 0; c < 4; c++ {
+				dst[c][o] = c0[c] - lam*(fxp[c]-fxm[c]) - lam*(fyp[c]-fym[c])
+			}
+			// Positivity floor on density and pressure.
+			if dst[0][o] < 1e-8 {
+				dst[0][o] = 1e-8
+			}
 		}
-	})
+	}
 }
 
 func (k *Euler) Tag(p *field.Patch, g Geometry, tag func(i, j int)) {
-	p.Box.Cells(func(q geom.IntVect) {
-		if gradMag(p, 0, q[0], q[1]) > k.TagThreshold {
-			tag(q[0], q[1])
-		}
-	})
+	tagAboveGrad(p, 0, k.TagThreshold, tag)
 }

@@ -14,13 +14,24 @@
 // deliberately modest: the kernels exist to drive realistic adaptive
 // refinement dynamics (moving fronts, oscillating rings, fingering
 // shocks), which is all the partitioning model consumes.
+//
+// # Execution model
+//
+// The kernels are written over field.Patch row slices (Row/RowSpan):
+// every inner loop walks contiguous storage with the index math and
+// bounds checks hoisted out of the cell loop, instead of paying At/Set
+// offset recomputation per stencil read. Step clones the patch into a
+// free-listed scratch slab, reads the clone, and writes only the
+// interior of the live patch; Init and the halo fills are the only
+// writers of ghost cells. A kernel invocation touches exactly one
+// patch, so the AMR driver may run Step/Init/Tag on distinct patches
+// concurrently — results are bit-identical to a sequential sweep.
 package solver
 
 import (
 	"math"
 
 	"samr/internal/field"
-	"samr/internal/geom"
 )
 
 // Geometry locates a patch in physical space: the physical domain is the
@@ -59,13 +70,26 @@ type Kernel interface {
 	Tag(p *field.Patch, g Geometry, tag func(i, j int))
 }
 
-// gradMag returns the centred-difference gradient magnitude of component
-// c at (i, j), scaled by dx (i.e. the undivided difference), which is the
-// standard SAMR refinement indicator.
-func gradMag(p *field.Patch, c, i, j int) float64 {
-	dx := (p.At(c, i+1, j) - p.At(c, i-1, j)) / 2
-	dy := (p.At(c, i, j+1) - p.At(c, i, j-1)) / 2
-	return math.Sqrt(dx*dx + dy*dy)
+// tagAboveGrad invokes tag for every interior cell whose
+// centred-difference gradient magnitude of component c — the undivided
+// difference, the standard SAMR refinement indicator — exceeds
+// threshold. All four kernels share this indicator.
+func tagAboveGrad(p *field.Patch, c int, threshold float64, tag func(i, j int)) {
+	b := p.Box
+	off := -p.GrownBox().Lo[0]
+	for j := b.Lo[1]; j < b.Hi[1]; j++ {
+		rm := p.Row(c, j-1)
+		rc := p.Row(c, j)
+		rp := p.Row(c, j+1)
+		for i := b.Lo[0]; i < b.Hi[0]; i++ {
+			o := i + off
+			dx := (rc[o+1] - rc[o-1]) / 2
+			dy := (rp[o] - rm[o]) / 2
+			if math.Sqrt(dx*dx+dy*dy) > threshold {
+				tag(i, j)
+			}
+		}
+	}
 }
 
 // Transport is the TP2D kernel: u_t + a(x,y)·grad(u) = 0 with a rigid
@@ -86,47 +110,62 @@ func (k *Transport) Ghost() int        { return 1 }
 func (k *Transport) BC() field.BC      { return field.BCPeriodic }
 func (k *Transport) MaxSpeed() float64 { return 2 * math.Pi * 0.75 }
 
-// velocity returns the rotation field at (x, y): solid-body rotation of
-// period 1 about (0.5, 0.5).
-func (k *Transport) velocity(x, y float64) (ax, ay float64) {
-	return -2 * math.Pi * (y - 0.5), 2 * math.Pi * (x - 0.5)
-}
+// velocityX and velocityY are the components of the rotation field at
+// (x, y) — solid-body rotation of period 1 about (0.5, 0.5). ax
+// depends only on y and ay only on x, which is what lets Step hoist ax
+// out of each row; these two are the single definition of the field.
+func (k *Transport) velocityX(y float64) (ax float64) { return -2 * math.Pi * (y - 0.5) }
+func (k *Transport) velocityY(x float64) (ay float64) { return 2 * math.Pi * (x - 0.5) }
 
 func (k *Transport) Init(p *field.Patch, g Geometry) {
-	p.GrownBox().Cells(func(q geom.IntVect) {
-		x, y := g.Center(q[0], q[1])
-		dx, dy := x-0.5, y-0.25
-		p.Set(0, q[0], q[1], math.Exp(-(dx*dx+dy*dy)/(2*0.05*0.05)))
-	})
+	gb := p.GrownBox()
+	for j := gb.Lo[1]; j < gb.Hi[1]; j++ {
+		row := p.Row(0, j)
+		_, y := g.Center(0, j)
+		dy := y - 0.25
+		for i := range row {
+			x, _ := g.Center(gb.Lo[0]+i, 0)
+			dx := x - 0.5
+			row[i] = math.Exp(-(dx*dx + dy*dy) / (2 * 0.05 * 0.05))
+		}
+	}
 }
 
 func (k *Transport) Step(p *field.Patch, t, dt float64, g Geometry) {
 	old := p.Clone()
-	p.Box.Cells(func(q geom.IntVect) {
-		i, j := q[0], q[1]
-		x, y := g.Center(i, j)
-		ax, ay := k.velocity(x, y)
-		var dudx, dudy float64
-		if ax > 0 {
-			dudx = (old.At(0, i, j) - old.At(0, i-1, j)) / g.Dx
-		} else {
-			dudx = (old.At(0, i+1, j) - old.At(0, i, j)) / g.Dx
+	defer old.Release()
+	b := p.Box
+	off := -p.GrownBox().Lo[0]
+	for j := b.Lo[1]; j < b.Hi[1]; j++ {
+		_, y := g.Center(0, j)
+		// The x-velocity depends only on y; hoist it out of the row.
+		ax := k.velocityX(y)
+		rm := old.Row(0, j-1)
+		rc := old.Row(0, j)
+		rp := old.Row(0, j+1)
+		dst := p.Row(0, j)
+		for i := b.Lo[0]; i < b.Hi[0]; i++ {
+			o := i + off
+			x, _ := g.Center(i, 0)
+			ay := k.velocityY(x)
+			var dudx, dudy float64
+			if ax > 0 {
+				dudx = (rc[o] - rc[o-1]) / g.Dx
+			} else {
+				dudx = (rc[o+1] - rc[o]) / g.Dx
+			}
+			if ay > 0 {
+				dudy = (rc[o] - rm[o]) / g.Dx
+			} else {
+				dudy = (rp[o] - rc[o]) / g.Dx
+			}
+			dst[o] = rc[o] - dt*(ax*dudx+ay*dudy)
 		}
-		if ay > 0 {
-			dudy = (old.At(0, i, j) - old.At(0, i, j-1)) / g.Dx
-		} else {
-			dudy = (old.At(0, i, j+1) - old.At(0, i, j)) / g.Dx
-		}
-		p.Set(0, i, j, old.At(0, i, j)-dt*(ax*dudx+ay*dudy))
-	})
+	}
 }
 
 func (k *Transport) Tag(p *field.Patch, g Geometry, tag func(i, j int)) {
-	p.Box.Cells(func(q geom.IntVect) {
-		if gradMag(p, 0, q[0], q[1]) > k.TagThreshold {
-			tag(q[0], q[1])
-		}
-	})
+	tagAboveGrad(p, 0, k.TagThreshold, tag)
 }
 
 // ScalarWave is the SC2D kernel: the second-order wave equation
@@ -163,12 +202,19 @@ func (k *ScalarWave) BC() field.BC      { return field.BCOutflow }
 func (k *ScalarWave) MaxSpeed() float64 { return k.C * 2 } // stability margin for the 2-D stencil
 
 func (k *ScalarWave) Init(p *field.Patch, g Geometry) {
-	p.GrownBox().Cells(func(q geom.IntVect) {
-		x, y := g.Center(q[0], q[1])
-		dx, dy := x-0.5, y-0.5
-		p.Set(0, q[0], q[1], math.Exp(-(dx*dx+dy*dy)/(2*0.05*0.05)))
-		p.Set(1, q[0], q[1], 0)
-	})
+	gb := p.GrownBox()
+	for j := gb.Lo[1]; j < gb.Hi[1]; j++ {
+		u := p.Row(0, j)
+		v := p.Row(1, j)
+		_, y := g.Center(0, j)
+		dy := y - 0.5
+		for i := range u {
+			x, _ := g.Center(gb.Lo[0]+i, 0)
+			dx := x - 0.5
+			u[i] = math.Exp(-(dx*dx + dy*dy) / (2 * 0.05 * 0.05))
+			v[i] = 0
+		}
+	}
 }
 
 // sponge returns the absorption factor at (x, y): 1 in the interior,
@@ -188,38 +234,47 @@ func sponge(x, y float64) float64 {
 
 func (k *ScalarWave) Step(p *field.Patch, t, dt float64, g Geometry) {
 	old := p.Clone()
+	defer old.Release()
 	c2 := k.C * k.C
 	inv := 1.0 / (g.Dx * g.Dx)
 	omega := 2 * math.Pi / k.SourcePeriod
-	p.Box.Cells(func(q geom.IntVect) {
-		i, j := q[0], q[1]
-		x, y := g.Center(i, j)
-		lap := (old.At(0, i+1, j) + old.At(0, i-1, j) + old.At(0, i, j+1) +
-			old.At(0, i, j-1) - 4*old.At(0, i, j)) * inv
-		sp := sponge(x, y) * (1 - k.Damping*dt)
-		v := (old.At(1, i, j) + dt*c2*lap) * sp
-		u := (old.At(0, i, j) + dt*v) * sp
-		// Prescribed oscillator in the source region: the field there is
-		// pinned to A sin(wt) with a compact profile, so the injected
-		// amplitude is bounded by construction.
-		dx2, dy2 := (x-0.5)*(x-0.5), (y-0.5)*(y-0.5)
-		r2 := dx2 + dy2
-		if r2 < 0.004 {
-			prof := math.Exp(-r2 / (2 * 0.03 * 0.03))
-			u = k.SourceAmp * math.Sin(omega*(t+dt)) * prof
-			v = k.SourceAmp * omega * math.Cos(omega*(t+dt)) * prof
+	damp := 1 - k.Damping*dt
+	b := p.Box
+	off := -p.GrownBox().Lo[0]
+	for j := b.Lo[1]; j < b.Hi[1]; j++ {
+		_, y := g.Center(0, j)
+		dy2 := (y - 0.5) * (y - 0.5)
+		um := old.Row(0, j-1)
+		uc := old.Row(0, j)
+		up := old.Row(0, j+1)
+		vc := old.Row(1, j)
+		dstU := p.Row(0, j)
+		dstV := p.Row(1, j)
+		for i := b.Lo[0]; i < b.Hi[0]; i++ {
+			o := i + off
+			x, _ := g.Center(i, 0)
+			lap := (uc[o+1] + uc[o-1] + up[o] + um[o] - 4*uc[o]) * inv
+			sp := sponge(x, y) * damp
+			v := (vc[o] + dt*c2*lap) * sp
+			u := (uc[o] + dt*v) * sp
+			// Prescribed oscillator in the source region: the field there is
+			// pinned to A sin(wt) with a compact profile, so the injected
+			// amplitude is bounded by construction.
+			dx2 := (x - 0.5) * (x - 0.5)
+			r2 := dx2 + dy2
+			if r2 < 0.004 {
+				prof := math.Exp(-r2 / (2 * 0.03 * 0.03))
+				u = k.SourceAmp * math.Sin(omega*(t+dt)) * prof
+				v = k.SourceAmp * omega * math.Cos(omega*(t+dt)) * prof
+			}
+			dstV[o] = v
+			dstU[o] = u
 		}
-		p.Set(1, i, j, v)
-		p.Set(0, i, j, u)
-	})
+	}
 }
 
 func (k *ScalarWave) Tag(p *field.Patch, g Geometry, tag func(i, j int)) {
-	p.Box.Cells(func(q geom.IntVect) {
-		if gradMag(p, 0, q[0], q[1]) > k.TagThreshold {
-			tag(q[0], q[1])
-		}
-	})
+	tagAboveGrad(p, 0, k.TagThreshold, tag)
 }
 
 // BuckleyLeverett is the BL2D kernel: water saturation transport
@@ -264,11 +319,18 @@ func (k *BuckleyLeverett) frac(s float64) float64 {
 	return s2 / (s2 + k.M*o*o)
 }
 
-// velocity is the five-spot field: source at (0,0), sink at (1,1). The
-// magnitude decays with distance from the injector as in radial flow.
-func (k *BuckleyLeverett) velocity(x, y, t float64) (ux, uy float64) {
-	// Cyclic injection: rate swings between 0.4 and 1.6 of nominal.
-	rate := 1.0 + 0.6*math.Sin(2*math.Pi*t/k.CyclePeriod)
+// rateAt is the cyclic injection schedule: the rate swings between 0.4
+// and 1.6 of nominal over one CyclePeriod (water-alternating
+// injection). It depends only on t, so Step hoists it out of the cell
+// loop.
+func (k *BuckleyLeverett) rateAt(t float64) float64 {
+	return 1.0 + 0.6*math.Sin(2*math.Pi*t/k.CyclePeriod)
+}
+
+// velocityRate is the five-spot field — source at (0,0), sink at (1,1),
+// magnitude decaying with distance from the injector as in radial flow
+// — scaled by the already-evaluated injection rate rateAt(t).
+func (k *BuckleyLeverett) velocityRate(x, y, rate float64) (ux, uy float64) {
 	r2 := x*x + y*y + 0.01
 	s2 := (1-x)*(1-x) + (1-y)*(1-y) + 0.01
 	// Superpose source (at origin) and sink (at far corner).
@@ -278,54 +340,71 @@ func (k *BuckleyLeverett) velocity(x, y, t float64) (ux, uy float64) {
 }
 
 func (k *BuckleyLeverett) Init(p *field.Patch, g Geometry) {
-	p.GrownBox().Cells(func(q geom.IntVect) {
-		x, y := g.Center(q[0], q[1])
-		// Water slug near the injector, oil elsewhere.
-		if x*x+y*y < 0.02 {
-			p.Set(0, q[0], q[1], 1.0)
-		} else {
-			p.Set(0, q[0], q[1], 0.0)
+	gb := p.GrownBox()
+	for j := gb.Lo[1]; j < gb.Hi[1]; j++ {
+		row := p.Row(0, j)
+		_, y := g.Center(0, j)
+		y2 := y * y
+		for i := range row {
+			x, _ := g.Center(gb.Lo[0]+i, 0)
+			// Water slug near the injector, oil elsewhere.
+			if x*x+y2 < 0.02 {
+				row[i] = 1.0
+			} else {
+				row[i] = 0.0
+			}
 		}
-	})
+	}
 }
 
 func (k *BuckleyLeverett) Step(p *field.Patch, t, dt float64, g Geometry) {
 	old := p.Clone()
-	p.Box.Cells(func(q geom.IntVect) {
-		i, j := q[0], q[1]
-		x, y := g.Center(i, j)
-		ux, uy := k.velocity(x, y, t)
-		// Upwind flux differencing of f(S) u.
-		var dfx, dfy float64
-		if ux > 0 {
-			dfx = k.frac(old.At(0, i, j)) - k.frac(old.At(0, i-1, j))
-		} else {
-			dfx = k.frac(old.At(0, i+1, j)) - k.frac(old.At(0, i, j))
+	defer old.Release()
+	rate := k.rateAt(t)
+	lam := dt / g.Dx
+	b := p.Box
+	off := -p.GrownBox().Lo[0]
+	for j := b.Lo[1]; j < b.Hi[1]; j++ {
+		_, y := g.Center(0, j)
+		y2 := y * y
+		rm := old.Row(0, j-1)
+		rc := old.Row(0, j)
+		rp := old.Row(0, j+1)
+		dst := p.Row(0, j)
+		for i := b.Lo[0]; i < b.Hi[0]; i++ {
+			o := i + off
+			x, _ := g.Center(i, 0)
+			ux, uy := k.velocityRate(x, y, rate)
+			// Upwind flux differencing of f(S) u; the centre flux is
+			// shared by both axes.
+			fc := k.frac(rc[o])
+			var dfx, dfy float64
+			if ux > 0 {
+				dfx = fc - k.frac(rc[o-1])
+			} else {
+				dfx = k.frac(rc[o+1]) - fc
+			}
+			if uy > 0 {
+				dfy = fc - k.frac(rm[o])
+			} else {
+				dfy = k.frac(rp[o]) - fc
+			}
+			s := rc[o] - lam*(ux*dfx+uy*dfy)
+			// Injection well keeps the near-origin region saturated.
+			if x*x+y2 < 0.005 {
+				s = 1.0
+			}
+			if s < 0 {
+				s = 0
+			}
+			if s > 1 {
+				s = 1
+			}
+			dst[o] = s
 		}
-		if uy > 0 {
-			dfy = k.frac(old.At(0, i, j)) - k.frac(old.At(0, i, j-1))
-		} else {
-			dfy = k.frac(old.At(0, i, j+1)) - k.frac(old.At(0, i, j))
-		}
-		s := old.At(0, i, j) - dt/g.Dx*(ux*dfx+uy*dfy)
-		// Injection well keeps the near-origin region saturated.
-		if x*x+y*y < 0.005 {
-			s = 1.0
-		}
-		if s < 0 {
-			s = 0
-		}
-		if s > 1 {
-			s = 1
-		}
-		p.Set(0, i, j, s)
-	})
+	}
 }
 
 func (k *BuckleyLeverett) Tag(p *field.Patch, g Geometry, tag func(i, j int)) {
-	p.Box.Cells(func(q geom.IntVect) {
-		if gradMag(p, 0, q[0], q[1]) > k.TagThreshold {
-			tag(q[0], q[1])
-		}
-	})
+	tagAboveGrad(p, 0, k.TagThreshold, tag)
 }

@@ -25,9 +25,9 @@
 // promptly with the context's error and never returns a partial
 // result. Typical use:
 //
-//	tr, _ := samr.GenerateTrace("BL2D", samr.PaperConfig(), 100)
-//	meta := samr.NewMetaPartitioner(2e-4)
 //	ctx := context.Background()
+//	tr, _ := samr.GenerateTrace(ctx, "BL2D", samr.PaperConfig(), 100)
+//	meta := samr.NewMetaPartitioner(2e-4)
 //	for _, snap := range tr.Snapshots {
 //	    p := meta.Select(snap.H, 0.01)
 //	    a, err := p.Partition(ctx, snap.H, 16)
@@ -101,9 +101,11 @@ func NewHierarchy(domain Box, refRatio int) *Hierarchy {
 func PaperConfig() Config { return apps.PaperConfig() }
 
 // GenerateTrace runs the named application (RM2D, BL2D, SC2D, TP2D) for
-// the given number of coarse steps and returns its trace.
-func GenerateTrace(app string, cfg Config, steps int) (*Trace, error) {
-	return apps.Generate(app, cfg, steps)
+// the given number of coarse steps and returns its trace. The AMR run
+// fans per-patch work over the worker pool and honours ctx: a
+// cancelled generation returns a nil trace and the context's error.
+func GenerateTrace(ctx context.Context, app string, cfg Config, steps int) (*Trace, error) {
+	return apps.Generate(ctx, app, cfg, steps)
 }
 
 // MigrationPenalty is beta_m: the paper's ab-initio data-migration

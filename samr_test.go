@@ -11,7 +11,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	cfg := PaperConfig()
 	cfg.BaseSize = 16
 	cfg.MaxLevels = 3
-	tr, err := GenerateTrace("TP2D", cfg, 6)
+	tr, err := GenerateTrace(context.Background(), "TP2D", cfg, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestFacadeSimulateTrace(t *testing.T) {
 	cfg := PaperConfig()
 	cfg.BaseSize = 16
 	cfg.MaxLevels = 2
-	tr, err := GenerateTrace("SC2D", cfg, 4)
+	tr, err := GenerateTrace(context.Background(), "SC2D", cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench.sh — run the tier benchmarks and write a {benchmark: ns/op}
+# JSON snapshot, seeding the BENCH_*.json trajectory the roadmap tracks
+# across PRs.
+#
+# Usage:
+#   scripts/bench.sh [output.json]          (default BENCH_PR4.json)
+#   BENCHTIME=5x scripts/bench.sh           (more iterations per benchmark)
+#   BENCH_FILTER='TraceGeneration' scripts/bench.sh
+#
+# The JSON maps each benchmark name (with the -N GOMAXPROCS suffix
+# stripped) to its ns/op. Multiple samples of the same benchmark keep
+# the last value.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_PR4.json}
+benchtime=${BENCHTIME:-3x}
+filter=${BENCH_FILTER:-'BenchmarkTraceGeneration|BenchmarkSimulateTraceParallel|BenchmarkFig|BenchmarkClassificationTrajectory|BenchmarkAblation|BenchmarkMetaPartitionerVsStatic|BenchmarkBoxIndexQuery'}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run='^$' -bench "$filter" -benchtime "$benchtime" . | tee "$tmp"
+
+awk '
+/^Benchmark/ && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") { v[name] = $i; if (!(name in seen)) { order[++n] = name; seen[name] = 1 } }
+    }
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n; i++) {
+        printf "  \"%s\": %s%s\n", order[i], v[order[i]], (i < n ? "," : "")
+    }
+    printf "}\n"
+}
+' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"
