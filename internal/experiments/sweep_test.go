@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"samr/internal/partition"
+	"samr/internal/sfc"
+)
+
+func TestProcsSweepShape(t *testing.T) {
+	tr := quick(t, "BL2D")
+	tb, err := ProcsSweep(bg, tr, partition.NewNatureFable(), nil)
+	noErr(t, err)
+	if len(tb.Rows) != len(DefaultProcsLadder) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), len(DefaultProcsLadder))
+	}
+	for i, row := range tb.Rows {
+		if len(row) != len(tb.Columns) {
+			t.Fatalf("row %d has %d cells, want %d", i, len(row), len(tb.Columns))
+		}
+		if row[0] == "" {
+			t.Fatalf("row %d missing nprocs", i)
+		}
+	}
+}
+
+// TestProcsSweepDeterministic: a repeated sweep (fully warm caches)
+// must print byte-identical tables — the user-facing form of the
+// bit-identical memoization guarantee.
+func TestProcsSweepDeterministic(t *testing.T) {
+	tr := quick(t, "SC2D")
+	ladder := []int{2, 5, 9}
+	render := func() string {
+		tb, err := ProcsSweep(bg, tr, &partition.DomainSFC{Curve: sfc.Hilbert, UnitSize: 2}, ladder)
+		noErr(t, err)
+		var buf bytes.Buffer
+		tb.Print(&buf)
+		return buf.String()
+	}
+	cold := render()
+	warm := render()
+	if cold != warm {
+		t.Fatalf("warm sweep diverged from cold:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+}
+
+// TestProcsSweepStatefulSequential: a post-mapped partitioner must
+// still produce a complete, per-rung-reset sweep (sequential path).
+func TestProcsSweepStatefulSequential(t *testing.T) {
+	tr := quick(t, "TP2D")
+	pm := partition.NewPostMapped(partition.NewNatureFable())
+	tb, err := ProcsSweep(bg, tr, pm, []int{2, 4})
+	noErr(t, err)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	// Per-rung reset: rerunning the same rung fresh must reproduce it.
+	pm2 := partition.NewPostMapped(partition.NewNatureFable())
+	tb2, err := ProcsSweep(bg, tr, pm2, []int{2, 4})
+	noErr(t, err)
+	if !reflect.DeepEqual(tb.Rows, tb2.Rows) {
+		t.Fatal("stateful sweep not reproducible (state leaked between rungs)")
+	}
+}
+
+// TestAblationWarmCacheIdentical: a full ablation table regenerated
+// with every memo layer warm must match its cold-cache rendering
+// byte for byte.
+func TestAblationWarmCacheIdentical(t *testing.T) {
+	tr := quick(t, "BL2D")
+	render := func() string {
+		tb, err := AblationPartitioners(bg, tr, 8)
+		noErr(t, err)
+		var buf bytes.Buffer
+		tb.Print(&buf)
+		return buf.String()
+	}
+	cold := render()
+	warm := render()
+	if cold != warm {
+		t.Fatalf("warm ablation diverged from cold:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+}

@@ -118,13 +118,11 @@ func (h *Hierarchy) RefinedFootprint() geom.BoxList {
 	return out
 }
 
-// Signature returns a deterministic content hash of the hierarchy:
-// domain, refinement ratio, and every level's box list in order. Equal
-// signatures mean structurally identical hierarchies, which is what
-// makes the hash usable as a partition-cache key — a partitioner's
-// output is a pure function of (hierarchy structure, nprocs).
-func (h *Hierarchy) Signature() geom.Signature {
-	buf := geom.BoxList{h.Domain}.AppendEncoding(nil)
+// AppendEncoding appends the canonical encoding of the hierarchy —
+// domain, refinement ratio, and every level's box list in order — to
+// buf and returns the extended slice.
+func (h *Hierarchy) AppendEncoding(buf []byte) []byte {
+	buf = geom.BoxList{h.Domain}.AppendEncoding(buf)
 	var w [8]byte
 	binary.LittleEndian.PutUint64(w[:], uint64(int64(h.RefRatio)))
 	buf = append(buf, w[:]...)
@@ -133,7 +131,27 @@ func (h *Hierarchy) Signature() geom.Signature {
 	for _, l := range h.Levels {
 		buf = l.Boxes.AppendEncoding(buf)
 	}
-	return geom.Signature(sha256.Sum256(buf))
+	return buf
+}
+
+// Signature returns a deterministic content hash of the hierarchy's
+// canonical encoding. Equal signatures mean structurally identical
+// hierarchies, which is what makes the hash usable as a content-
+// addressed cache key — a partitioner's output is a pure function of
+// (hierarchy structure, configuration, nprocs).
+func (h *Hierarchy) Signature() geom.Signature {
+	sig, _ := h.SignatureWith(nil)
+	return sig
+}
+
+// SignatureWith is Signature with caller-owned encoding scratch:
+// callers hashing many hierarchies (the memoization layers key
+// everything by content) pass a retained buffer's buf[:0] and get the
+// grown buffer back for the next call, hashing without per-call
+// allocation.
+func (h *Hierarchy) SignatureWith(buf []byte) (geom.Signature, []byte) {
+	buf = h.AppendEncoding(buf)
+	return geom.Signature(sha256.Sum256(buf)), buf
 }
 
 // Clone returns a deep copy of the hierarchy.

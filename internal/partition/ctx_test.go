@@ -34,9 +34,11 @@ func (c *countdownCtx) Err() error {
 	return nil
 }
 
-// pollsOf counts how many times a full Partition run polls the context.
+// pollsOf counts how many times a full cold-cache Partition run polls
+// the context.
 func pollsOf(t *testing.T, mk func() Partitioner, h *grid.Hierarchy, np int) int {
 	t.Helper()
+	flushChainCaches()
 	ctx := newCountdownCtx(1 << 30)
 	if _, err := mk().Partition(ctx, h, np); err != nil {
 		t.Fatal(err)
@@ -71,6 +73,12 @@ func TestPartitionCancelledNeverPartial(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			total := pollsOf(t, mk, h, np)
 			for n := 0; n < total; n++ {
+				// Each attempt runs against a cold memo: a warm unit-chain
+				// cache legitimately needs fewer polls (and may complete
+				// before the countdown fires), which would break the
+				// poll-point sweep. Cold runs also prove a cancelled
+				// build never stores a partial artifact for the next run.
+				flushChainCaches()
 				a, err := mk().Partition(newCountdownCtx(n), h, np)
 				if err == nil {
 					t.Fatalf("cancel at poll %d/%d: no error", n, total)
@@ -83,7 +91,8 @@ func TestPartitionCancelledNeverPartial(t *testing.T) {
 						n, total, len(a.Fragments))
 				}
 			}
-			// And at exactly total polls the run completes validly.
+			// And at exactly total polls the cold run completes validly.
+			flushChainCaches()
 			a, err := mk().Partition(newCountdownCtx(total), h, np)
 			if err != nil {
 				t.Fatalf("uncancelled run failed: %v", err)

@@ -3,7 +3,6 @@ package partition
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"samr/internal/grid"
 	"samr/internal/sfc"
@@ -36,7 +35,10 @@ func (d *DomainSFC) Name() string {
 	return fmt.Sprintf("domain-%s-u%d", d.Curve, d.UnitSize)
 }
 
-// Partition implements Partitioner.
+// Partition implements Partitioner. The SFC-ordered unit chain — the
+// nprocs-independent bulk of the work — is served from the
+// content-addressed chain cache; only the chain cut and fragment
+// generation run per call.
 func (d *DomainSFC) Partition(ctx context.Context, h *grid.Hierarchy, nprocs int) (*Assignment, error) {
 	if err := checkCtx(ctx); err != nil {
 		return nil, err
@@ -45,26 +47,18 @@ func (d *DomainSFC) Partition(ctx context.Context, h *grid.Hierarchy, nprocs int
 	if us < 1 {
 		us = 1
 	}
-	hi := newHierIndex(ctx, h)
-	units, err := hi.unitsOf(h.Levels[0].Boxes, us)
+	sig := h.Signature()
+	hi, err := sharedHierIndex(ctx, h, sig)
 	if err != nil {
 		return nil, err
 	}
-	// Order the units along the curve.
-	order := make([]int, len(units))
-	keys := make([]int64, len(units))
-	for i, u := range units {
-		order[i] = i
-		keys[i] = sfc.Index(d.Curve, u.box.Lo[0]/us, u.box.Lo[1]/us)
+	chain, err := domainChain(hi, sig, d.Curve, us)
+	if err != nil {
+		return nil, err
 	}
-	sortByKeys(order, keys)
-	ordered := make([]unit, len(units))
-	for i, oi := range order {
-		ordered[i] = units[oi]
-	}
-	owners := cutChain(ordered, nprocs)
+	owners := cutChain(chain, nprocs)
 	a := &Assignment{NumProcs: nprocs}
-	for i, u := range ordered {
+	for i, u := range chain {
 		if i%ctxBatch == 0 {
 			if err := hi.check(); err != nil {
 				return nil, err
@@ -74,22 +68,4 @@ func (d *DomainSFC) Partition(ctx context.Context, h *grid.Hierarchy, nprocs int
 	}
 	a.Fragments = mergeFragments(a.Fragments)
 	return a, nil
-}
-
-// sortByKeys sorts order (and keys, in tandem) ascending by key. The
-// sort is stable: equal keys keep their original relative order, which
-// the curve orderings rely on for deterministic unit chains.
-func sortByKeys(order []int, keys []int64) {
-	type kv struct {
-		k int64
-		o int
-	}
-	pairs := make([]kv, len(order))
-	for i := range pairs {
-		pairs[i] = kv{keys[i], order[i]}
-	}
-	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
-	for i, p := range pairs {
-		keys[i], order[i] = p.k, p.o
-	}
 }

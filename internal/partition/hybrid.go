@@ -61,27 +61,33 @@ func (nf *NatureFable) Name() string {
 
 // Partition implements Partitioner. Cancellation is polled per phase
 // (hue separation, coarse core cut, per-group bi-level blocking) and
-// per unit batch inside the blocking machinery.
+// per unit batch inside the blocking machinery. The hue/core
+// separation and both reusable unit chains — everything independent of
+// nprocs — are served from the content-addressed prep cache; the
+// processor split, chain cuts, and per-group bi-level blocking run per
+// call.
 func (nf *NatureFable) Partition(ctx context.Context, h *grid.Hierarchy, nprocs int) (*Assignment, error) {
 	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
-	a := &Assignment{NumProcs: nprocs}
-	hi := newHierIndex(ctx, h)
-	cores := nf.coreRegions(h)
-	// Hue region: base domain minus the core footprints.
-	hue := h.Levels[0].Boxes.Clone()
-	for _, c := range cores {
-		hue = hue.SubtractBox(c)
+	us := nf.AtomicUnit
+	if us < 1 {
+		us = 1
 	}
-	hue = hue.Simplify()
-	hue.SortByLo()
-	if err := hi.check(); err != nil {
+	a := &Assignment{NumProcs: nprocs}
+	sig := h.Signature()
+	hi, err := sharedHierIndex(ctx, h, sig)
+	if err != nil {
 		return nil, err
 	}
+	prep, err := nfPrepOf(hi, sig, nf.Curve, us)
+	if err != nil {
+		return nil, err
+	}
+	hue := prep.hue
 
 	// Workload split: hues have only base work; cores everything else.
-	hueW := hue.TotalVolume() // level 0, step factor 1
+	hueW := prep.hueW // level 0, step factor 1
 	totalW := h.Workload()
 	coreW := totalW - hueW
 
@@ -102,7 +108,7 @@ func (nf *NatureFable) Partition(ctx context.Context, h *grid.Hierarchy, nprocs 
 
 	// Hues: blocking over processors [coreProcs, nprocs).
 	if hueProcs > 0 && hueW > 0 {
-		if err := nf.blockRegion(hi, hue, 0, 0, coreProcs, hueProcs, &a.Fragments); err != nil {
+		if err := nf.blockOrdered(hi, prep.hueUnits, 0, 0, coreProcs, hueProcs, &a.Fragments); err != nil {
 			return nil, err
 		}
 	} else if hueW > 0 {
@@ -114,7 +120,7 @@ func (nf *NatureFable) Partition(ctx context.Context, h *grid.Hierarchy, nprocs 
 
 	// Cores: coarse partition into groups, then bi-level blocking.
 	if coreProcs > 0 && coreW > 0 {
-		if err := nf.partitionCores(hi, cores, coreProcs, &a.Fragments); err != nil {
+		if err := nf.partitionCores(hi, prep.coreUnits, coreProcs, &a.Fragments); err != nil {
 			return nil, err
 		}
 	}
@@ -122,21 +128,29 @@ func (nf *NatureFable) Partition(ctx context.Context, h *grid.Hierarchy, nprocs 
 	return a, nil
 }
 
-// coreRegions returns disjoint base-space boxes covering all refined
-// footprints: the "natural regions" separation.
-func (nf *NatureFable) coreRegions(h *grid.Hierarchy) geom.BoxList {
-	fp := h.RefinedFootprint()
-	if len(fp) == 0 {
-		return nil
-	}
+// makeCoreRegions returns disjoint base-space boxes covering the given
+// refined footprint: the "natural regions" separation.
+func makeCoreRegions(fp geom.BoxList) geom.BoxList {
 	regions := cluster.MakeDisjoint(fp).Simplify()
 	regions.SortByLo()
 	return regions
 }
 
-// partitionCores coarse-partitions the core columns into processor
-// groups and block-partitions each bi-level within its group.
-func (nf *NatureFable) partitionCores(hi *hierIndex, cores geom.BoxList, coreProcs int, out *[]Fragment) error {
+// coreRegions returns disjoint base-space boxes covering all refined
+// footprints.
+func (nf *NatureFable) coreRegions(h *grid.Hierarchy) geom.BoxList {
+	fp := h.RefinedFootprint()
+	if len(fp) == 0 {
+		return nil
+	}
+	return makeCoreRegions(fp)
+}
+
+// partitionCores coarse-partitions the (already SFC-ordered) core unit
+// chain into processor groups and block-partitions each bi-level
+// within its group. The chain is shared cache state: it is cut and
+// scanned, never mutated.
+func (nf *NatureFable) partitionCores(hi *hierIndex, units []unit, coreProcs int, out *[]Fragment) error {
 	groups := nf.Groups
 	if groups < 1 {
 		groups = 1
@@ -144,13 +158,6 @@ func (nf *NatureFable) partitionCores(hi *hierIndex, cores geom.BoxList, corePro
 	if groups > coreProcs {
 		groups = coreProcs
 	}
-	// Coarse partitioning: order core units along the curve and cut
-	// into groups by workload.
-	units, err := hi.unitsOf(cores, nf.AtomicUnit)
-	if err != nil {
-		return err
-	}
-	nf.orderUnits(units)
 	groupOf := cutChain(units, groups)
 
 	// Processors per group, proportional to group workload.
@@ -231,7 +238,14 @@ func (nf *NatureFable) blockRegion(hi *hierIndex, region geom.BoxList, loLevel, 
 	if err != nil {
 		return err
 	}
-	nf.orderUnits(units)
+	orderUnitsByCurve(units, nf.Curve, us)
+	return nf.blockOrdered(hi, units, loLevel, hiLevel, procBase, procs, out)
+}
+
+// blockOrdered is blockRegion's cutting half: it distributes an
+// already SFC-ordered unit chain (possibly shared cache state — read
+// only) across procs processors starting at procBase.
+func (nf *NatureFable) blockOrdered(hi *hierIndex, units []unit, loLevel, hiLevel, procBase, procs int, out *[]Fragment) error {
 	owned := nf.cutUnits(units, procs)
 	for i, ou := range owned {
 		if i%ctxBatch == 0 {
@@ -305,24 +319,4 @@ func (nf *NatureFable) cutUnits(units []unit, parts int) []ownedUnit {
 		}
 	}
 	return out
-}
-
-// orderUnits sorts units along the configured curve.
-func (nf *NatureFable) orderUnits(units []unit) {
-	us := nf.AtomicUnit
-	if us < 1 {
-		us = 1
-	}
-	keys := make([]int64, len(units))
-	order := make([]int, len(units))
-	for i, u := range units {
-		keys[i] = sfc.Index(nf.Curve, u.box.Lo[0]/us, u.box.Lo[1]/us)
-		order[i] = i
-	}
-	sortByKeys(order, keys)
-	sorted := make([]unit, len(units))
-	for i, oi := range order {
-		sorted[i] = units[oi]
-	}
-	copy(units, sorted)
 }

@@ -100,7 +100,13 @@ func (a *Assignment) Loads(h *grid.Hierarchy) []int64 {
 // heaviest loaded processor divided by the average load"). Returns 0
 // for an empty assignment.
 func (a *Assignment) Imbalance(h *grid.Hierarchy) float64 {
-	loads := a.Loads(h)
+	return ImbalanceOf(a.Loads(h))
+}
+
+// ImbalanceOf derives the load-imbalance percentage from an
+// already-computed per-processor load vector, so callers that need
+// both the loads and the metric (the simulator) build the vector once.
+func ImbalanceOf(loads []int64) float64 {
 	var max, sum int64
 	for _, l := range loads {
 		if l > max {
@@ -300,33 +306,36 @@ func minInt(a, b int) int {
 
 // mergeFragments coalesces mergeable same-level same-owner fragments to
 // reduce fragment-count pressure on the simulator. Coverage is
-// unchanged.
+// unchanged. The grouping is a stable in-place (level, owner) sort
+// followed by a group sweep writing back into the caller's slice —
+// each group's boxes are staged in a scratch list before its (never
+// longer) merged form overwrites consumed positions, so no per-call
+// map or key slice is built.
 func mergeFragments(frags []Fragment) []Fragment {
-	type key struct {
-		level, owner int
-	}
-	groups := make(map[key]geom.BoxList)
-	for _, f := range frags {
-		k := key{f.Level, f.Owner}
-		groups[k] = append(groups[k], f.Box)
-	}
-	keys := make([]key, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].level != keys[j].level {
-			return keys[i].level < keys[j].level
+	sort.SliceStable(frags, func(i, j int) bool {
+		if frags[i].Level != frags[j].Level {
+			return frags[i].Level < frags[j].Level
 		}
-		return keys[i].owner < keys[j].owner
+		return frags[i].Owner < frags[j].Owner
 	})
-	var out []Fragment
-	for _, k := range keys {
-		bl := groups[k].Simplify()
-		bl.SortByLo()
-		for _, b := range bl {
-			out = append(out, Fragment{Level: k.level, Box: b, Owner: k.owner})
+	out := frags[:0]
+	var scratch geom.BoxList
+	for start := 0; start < len(frags); {
+		level, owner := frags[start].Level, frags[start].Owner
+		end := start + 1
+		for end < len(frags) && frags[end].Level == level && frags[end].Owner == owner {
+			end++
 		}
+		scratch = scratch[:0]
+		for _, f := range frags[start:end] {
+			scratch = append(scratch, f.Box)
+		}
+		merged := scratch.Simplify()
+		merged.SortByLo()
+		for _, b := range merged {
+			out = append(out, Fragment{Level: level, Box: b, Owner: owner})
+		}
+		start = end
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"samr/internal/geom"
@@ -29,6 +30,17 @@ func NewPatchBased() *PatchBased { return &PatchBased{MaxOverIdeal: 1} }
 
 // Name implements Partitioner.
 func (p *PatchBased) Name() string { return "patch-lpt" }
+
+// MemoKey implements the optional content-key interface of the
+// memoization layers: the display name omits MaxOverIdeal, but the
+// partitioner's output depends on it, so the cache key must not.
+func (p *PatchBased) MemoKey() string {
+	over := p.MaxOverIdeal
+	if over <= 0 {
+		over = 1
+	}
+	return fmt.Sprintf("patch-lpt-o%g", over)
+}
 
 // Partition implements Partitioner. Cancellation is polled per level
 // and per batch of pieces during bin packing.

@@ -1,12 +1,10 @@
 package server
 
 import (
-	"container/list"
 	"context"
-	"sync"
-	"sync/atomic"
 
 	"samr/internal/geom"
+	"samr/internal/memo"
 	"samr/internal/partition"
 )
 
@@ -21,16 +19,17 @@ type CacheKey struct {
 	NProcs      int
 }
 
-// Cache dispositions: how a request's result was obtained.
+// Cache dispositions: how a request's result was obtained. These are
+// the wire names of internal/memo's dispositions.
 const (
 	// CacheHit served a previously stored result.
-	CacheHit = "hit"
+	CacheHit = memo.Hit
 	// CacheMiss led a fresh compute (exactly one per distinct in-flight
 	// key: misses count partitioner executions).
-	CacheMiss = "miss"
+	CacheMiss = memo.Miss
 	// CacheShared coalesced onto another request's in-flight compute of
 	// the same key (the singleflight path: no duplicate execution).
-	CacheShared = "shared"
+	CacheShared = memo.Shared
 )
 
 // PartitionCache is a bounded LRU of partitioning results shared by
@@ -38,67 +37,31 @@ const (
 // concurrent identical misses: while one request computes a key, every
 // other request for the same key waits for that result instead of
 // recomputing it. Stored assignments are treated as immutable by all
-// readers.
+// readers. It is a thin domain wrapper over the process-shared
+// memoization substrate (internal/memo), which also carries the
+// in-process unit-chain caches under the partitioners.
 type PartitionCache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used; values are *cacheEntry
-	items   map[CacheKey]*list.Element
-	flights map[CacheKey]*flight
-
-	hits, misses, shared atomic.Uint64
-
-	// onFlight, when set (tests only), is called outside the lock after
-	// a GetOrCompute call either registers itself as the leader of a
-	// key's compute (leader=true) or joins an existing one (false).
-	onFlight func(k CacheKey, leader bool)
-}
-
-type cacheEntry struct {
-	key CacheKey
-	a   *partition.Assignment
-}
-
-// flight is one in-progress compute; followers wait on done.
-type flight struct {
-	done chan struct{}
-	a    *partition.Assignment
-	err  error
+	inner *memo.Cache[CacheKey, *partition.Assignment]
 }
 
 // NewPartitionCache returns a cache holding at most capacity results
 // (minimum 1).
 func NewPartitionCache(capacity int) *PartitionCache {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &PartitionCache{
-		cap:     capacity,
-		order:   list.New(),
-		items:   make(map[CacheKey]*list.Element, capacity),
-		flights: make(map[CacheKey]*flight),
-	}
+	return &PartitionCache{inner: memo.New[CacheKey, *partition.Assignment](capacity)}
+}
+
+// SetOnFlight installs the test-only singleflight instrumentation
+// hook: it is called after a GetOrCompute call registers as a key's
+// compute leader (leader=true) or joins an existing flight (false).
+func (c *PartitionCache) SetOnFlight(hook func(k CacheKey, leader bool)) {
+	c.inner.SetOnFlight(hook)
 }
 
 // Get returns the cached assignment for k, updating recency and the
 // hit counter. A miss is not counted here: miss accounting belongs to
 // GetOrCompute, where a miss implies an execution.
 func (c *PartitionCache) Get(k CacheKey) (*partition.Assignment, bool) {
-	c.mu.Lock()
-	el, ok := c.items[k]
-	var a *partition.Assignment
-	if ok {
-		c.order.MoveToFront(el)
-		// Copy the pointer under the lock: addLocked may refresh the
-		// entry concurrently.
-		a = el.Value.(*cacheEntry).a
-	}
-	c.mu.Unlock()
-	if !ok {
-		return nil, false
-	}
-	c.hits.Add(1)
-	return a, true
+	return c.inner.Get(k)
 }
 
 // GetOrCompute returns the assignment for k, computing it at most once
@@ -112,93 +75,24 @@ func (c *PartitionCache) Get(k CacheKey) (*partition.Assignment, bool) {
 // never poisons another's request. The returned disposition is one of
 // CacheHit, CacheMiss, CacheShared.
 func (c *PartitionCache) GetOrCompute(ctx context.Context, k CacheKey, compute func() (*partition.Assignment, error)) (*partition.Assignment, string, error) {
-	for {
-		c.mu.Lock()
-		if el, ok := c.items[k]; ok {
-			c.order.MoveToFront(el)
-			a := el.Value.(*cacheEntry).a // copy under the lock (addLocked may refresh)
-			c.mu.Unlock()
-			c.hits.Add(1)
-			return a, CacheHit, nil
-		}
-		if f, ok := c.flights[k]; ok {
-			c.mu.Unlock()
-			if hook := c.onFlight; hook != nil {
-				hook(k, false)
-			}
-			select {
-			case <-f.done:
-				if f.err == nil {
-					c.shared.Add(1)
-					return f.a, CacheShared, nil
-				}
-				// The leader was cancelled. If this caller is still
-				// live it retries (and may lead the recompute).
-				if err := ctx.Err(); err != nil {
-					return nil, "", err
-				}
-				continue
-			case <-ctx.Done():
-				return nil, "", ctx.Err()
-			}
-		}
-		f := &flight{done: make(chan struct{})}
-		c.flights[k] = f
-		c.mu.Unlock()
-		if hook := c.onFlight; hook != nil {
-			hook(k, true)
-		}
-		c.misses.Add(1)
-		f.a, f.err = compute()
-		c.mu.Lock()
-		delete(c.flights, k)
-		if f.err == nil {
-			c.addLocked(k, f.a)
-		}
-		c.mu.Unlock()
-		close(f.done)
-		if f.err != nil {
-			return nil, "", f.err
-		}
-		return f.a, CacheMiss, nil
-	}
+	return c.inner.GetOrCompute(ctx, k, compute)
 }
 
 // Add stores a (idempotently: a concurrent duplicate compute simply
 // refreshes the entry) and evicts the least recently used entry past
 // capacity.
 func (c *PartitionCache) Add(k CacheKey, a *partition.Assignment) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.addLocked(k, a)
-}
-
-func (c *PartitionCache) addLocked(k CacheKey, a *partition.Assignment) {
-	if el, ok := c.items[k]; ok {
-		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).a = a
-		return
-	}
-	c.items[k] = c.order.PushFront(&cacheEntry{key: k, a: a})
-	for c.order.Len() > c.cap {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
-	}
+	c.inner.Add(k, a)
 }
 
 // Len returns the number of cached results.
-func (c *PartitionCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
-}
+func (c *PartitionCache) Len() int { return c.inner.Len() }
 
 // Capacity returns the cache bound.
-func (c *PartitionCache) Capacity() int { return c.cap }
+func (c *PartitionCache) Capacity() int { return c.inner.Capacity() }
 
 // Stats returns the cumulative hit, miss, and shared (coalesced) counts.
 // Misses equal actual partitioner executions through GetOrCompute.
 func (c *PartitionCache) Stats() (hits, misses, shared uint64) {
-	return c.hits.Load(), c.misses.Load(), c.shared.Load()
+	return c.inner.Stats()
 }

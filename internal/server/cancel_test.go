@@ -47,13 +47,13 @@ func TestPartitionSingleflight(t *testing.T) {
 	// Deterministic interleaving: the compute leader blocks until the
 	// second request has joined the flight as a follower.
 	followerJoined := make(chan struct{})
-	srv.Cache().onFlight = func(k CacheKey, leader bool) {
+	srv.Cache().SetOnFlight(func(k CacheKey, leader bool) {
 		if leader {
 			<-followerJoined
 		} else {
 			close(followerJoined)
 		}
-	}
+	})
 
 	h := testHierarchy(2)
 	req := PartitionRequest{Hierarchy: &h, Partitioner: "nature+fable", NProcs: 8}
@@ -157,11 +157,11 @@ func TestPartitionCancelMidBatchNoGoroutineLeak(t *testing.T) {
 	defer cancel()
 	// Cancel the request the moment the first compute starts: the
 	// partitioner aborts at its next poll, mid-batch.
-	s.Cache().onFlight = func(k CacheKey, leader bool) {
+	s.Cache().SetOnFlight(func(k CacheKey, leader bool) {
 		if leader {
 			cancel()
 		}
-	}
+	})
 	batch := make([]Hierarchy, 16)
 	for i := range batch {
 		batch[i] = testHierarchy(i)
@@ -247,5 +247,14 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if st.Endpoints["stats"].Requests != 1 {
 		t.Errorf("stats endpoint = %+v, want its own request counted", st.Endpoints["stats"])
+	}
+	// The partition-layer unit-chain caches under the partitioners see
+	// at least the miss (and possibly prior hits — they are process
+	// wide), and their occupancy is bounded.
+	if st.UnitChains.Misses == 0 {
+		t.Errorf("unit-chain counters = %+v, want at least one miss", st.UnitChains)
+	}
+	if st.UnitChains.Capacity <= 0 || st.UnitChains.Entries > st.UnitChains.Capacity {
+		t.Errorf("unit-chain occupancy = %d/%d", st.UnitChains.Entries, st.UnitChains.Capacity)
 	}
 }

@@ -473,6 +473,8 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // gauge includes this stats request itself.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, shared := s.cache.Stats()
+	chainHits, chainMisses, chainShared, chainEntries, chainCap := partition.CacheStats()
+	memoPart, memoEval, memoMig := sim.MemoStats()
 	resp := StatsResponse{
 		Cache: CacheCounters{
 			Hits:     hits,
@@ -480,6 +482,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shared:   shared,
 			Entries:  s.cache.Len(),
 			Capacity: s.cache.Capacity(),
+		},
+		UnitChains: CacheCounters{
+			Hits:     chainHits,
+			Misses:   chainMisses,
+			Shared:   chainShared,
+			Entries:  chainEntries,
+			Capacity: chainCap,
+		},
+		SimMemo: MemoCounters{
+			PartitionsMemoized:       memoPart,
+			EvaluationsMemoized:      memoEval,
+			MigrationsShortCircuited: memoMig,
 		},
 		InFlight:  s.inFlight.Load(),
 		PoolSize:  pool.Workers(),

@@ -276,9 +276,33 @@ type EndpointCounters struct {
 	Errors uint64 `json:"errors"`
 }
 
+// MemoCounters is the simulation pipeline's cumulative in-run
+// memoization accounting: work units answered by an earlier identical
+// step of the same trace run instead of recomputed.
+type MemoCounters struct {
+	// PartitionsMemoized counts snapshots whose partitioning was shared
+	// with an earlier content-identical step.
+	PartitionsMemoized uint64 `json:"partitions_memoized"`
+	// EvaluationsMemoized counts snapshots whose metric evaluation was
+	// shared with an earlier identical (signature, assignment) step.
+	EvaluationsMemoized uint64 `json:"evaluations_memoized"`
+	// MigrationsShortCircuited counts consecutive-step migration scans
+	// answered without recomputation: either both steps share one
+	// assignment over content-identical hierarchies (exactly zero
+	// points move) or the pair's moved-point count was served from the
+	// migration cache.
+	MigrationsShortCircuited uint64 `json:"migrations_short_circuited"`
+}
+
 // StatsResponse is the reply of GET /v1/stats.
 type StatsResponse struct {
 	Cache CacheCounters `json:"cache"`
+	// UnitChains is the partition-layer memoization accounting: the
+	// content-addressed unit-chain, hybrid-prep, and level-index caches
+	// under the partitioners (summed).
+	UnitChains CacheCounters `json:"unit_chains"`
+	// SimMemo is the simulator's trace-run memoization accounting.
+	SimMemo MemoCounters `json:"sim_memo"`
 	// InFlight is the number of requests currently being handled,
 	// including the stats request itself.
 	InFlight int64 `json:"in_flight"`

@@ -28,9 +28,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"samr/internal/geom"
 	"samr/internal/grid"
+	"samr/internal/memo"
 	"samr/internal/partition"
 	"samr/internal/pool"
 	"samr/internal/trace"
@@ -187,7 +189,8 @@ func Evaluate(ctx context.Context, h *grid.Hierarchy, a *partition.Assignment, m
 	if err := checkCtx(ctx); err != nil {
 		return StepMetrics{}, err
 	}
-	sm := StepMetrics{Loads: a.Loads(h), Imbalance: a.Imbalance(h)}
+	loads := a.Loads(h)
+	sm := StepMetrics{Loads: loads, Imbalance: partition.ImbalanceOf(loads)}
 	perLevel := ownedFragments(a, len(h.Levels))
 	nprocs := a.NumProcs
 
@@ -405,6 +408,95 @@ func stateful(p partition.Partitioner) bool {
 	return ok
 }
 
+// Process-wide memoization savings of the trace pipeline, surfaced by
+// /v1/stats and samrbench -cachestats: snapshots whose partitioning,
+// evaluation, or migration scan was answered by the content-addressed
+// step cache (or an identical in-flight step) instead of recomputed.
+var (
+	partitionsMemoized  atomic.Uint64
+	evaluationsMemoized atomic.Uint64
+	migrationsShortCut  atomic.Uint64
+)
+
+// MemoStats returns the cumulative memoization counters of the trace
+// pipeline: partition calls, Evaluate calls, and migration scans
+// answered without recomputation because an identical
+// (signature, partitioner, nprocs, machine) step had already been
+// computed — in the same run, an earlier run, or a concurrent one.
+// The migration counter covers both forms of saving: consecutive
+// steps sharing one assignment (exactly zero points move) and pairs
+// served from the migration cache.
+func MemoStats() (partitions, evaluations, migrations uint64) {
+	return partitionsMemoized.Load(), evaluationsMemoized.Load(), migrationsShortCut.Load()
+}
+
+// stepKey addresses the content-addressed result of partitioning and
+// evaluating one snapshot: hierarchy content hash, canonical
+// partitioner memo key, processor count, and machine model (EstTime
+// depends on it). Equal keys imply bit-identical results for stateless
+// partitioners, which is the only kind ever cached.
+type stepKey struct {
+	sig    geom.Signature
+	name   string
+	nprocs int
+	m      Machine
+}
+
+// stepArtifact is one cached step: the assignment plus its evaluated
+// metrics with the per-run fields (Step, Migration, RelativeMigration,
+// the migration share of EstTime) still unset. Both are shared across
+// runs and treated as immutable by every reader.
+type stepArtifact struct {
+	a  *partition.Assignment
+	sm StepMetrics
+}
+
+// migKey addresses the migration volume between two consecutive
+// partitioned snapshots; both endpoints must be content-addressed
+// (stateless partitioners), which makes the moved-point count a pure
+// function of this key.
+type migKey struct {
+	sigPrev, sigCur   geom.Signature
+	namePrev, nameCur string
+	nprocs            int
+}
+
+// Cache bounds: step artifacts are a few KB each (an assignment's
+// fragments plus a metrics row), migration entries are a single
+// scalar. The bounds comfortably hold the working set of a full
+// experiment sweep while bounding a long-running daemon.
+const (
+	stepCacheCap = 2048
+	migCacheCap  = 8192
+)
+
+var (
+	stepCache = memo.New[stepKey, stepArtifact](stepCacheCap)
+	migCache  = memo.New[migKey, int64](migCacheCap)
+)
+
+// memoName returns the canonical content key of a partitioner for the
+// memoization layer: Name(), unless the partitioner implements MemoKey
+// to disambiguate configuration its display name omits (patch-lpt's
+// MaxOverIdeal).
+func memoName(p partition.Partitioner) string {
+	if k, ok := p.(interface{ MemoKey() string }); ok {
+		return k.MemoKey()
+	}
+	return p.Name()
+}
+
+// flushStepCaches drops the content-addressed step and migration
+// caches (tests use it to compare memoized runs against cold ones).
+func flushStepCaches() {
+	stepCache.Flush()
+	migCache.Flush()
+}
+
+// encBufPool recycles hierarchy-encoding buffers across the signature
+// fan-out, so bulk hashing stops allocating per snapshot.
+var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // simulateTrace is the worker-pool implementation behind
 // SimulateTrace/SimulateTraceSelect. The per-snapshot work units are
 // independent except for two sequential strands, which are preserved
@@ -418,6 +510,20 @@ func stateful(p partition.Partitioner) bool {
 // workers=1 path for any worker count. Cancellation propagates into
 // every phase through pool.MapCtx and the partitioners' own polls; a
 // cancelled run returns nil.
+//
+// Memoization: a stateless partitioner's step is a pure function of
+// (hierarchy content, configuration, nprocs, machine), so each step is
+// served from the process-wide content-addressed step cache: repeated
+// content (regrid-sparse traces), repeated configurations (the
+// meta-vs-static and ablation sweeps replay the same snapshots many
+// times), and concurrent identical runs all compute each distinct step
+// once. Steps sharing a key share one Assignment and metrics row
+// (immutable by contract); the migration scan between two
+// content-addressed steps is cached the same way, and short-circuits
+// to its exact value of zero when consecutive steps share one
+// assignment. Stateful partitioners (the post-mapping wrapper) keep
+// the full sequential chain and are never cached: their output depends
+// on carried state, not content alone.
 func simulateTrace(ctx context.Context, tr *trace.Trace, choose func(step int, h *grid.Hierarchy) partition.Partitioner, nprocs int, m Machine, workers int) (*Result, error) {
 	res := &Result{NumProcs: nprocs}
 	n := len(tr.Snapshots)
@@ -446,52 +552,147 @@ func simulateTrace(ctx context.Context, tr *trace.Trace, choose func(step int, h
 		}
 	}
 
-	// Phase 2: partition every snapshot — concurrently when every
-	// chosen partitioner is a pure function of its configuration.
-	as := make([]*partition.Assignment, n)
-	if anyStateful {
-		for i, snap := range tr.Snapshots {
-			a, err := ps[i].Partition(ctx, snap.H, nprocs)
-			if err != nil {
-				return nil, err
-			}
-			as[i] = a
+	// Content signatures and canonical names for the memo keys (pure,
+	// index-slotted; encoding buffers are pooled across the fan-out).
+	// A run whose every step is stateful never consults the caches, so
+	// it skips the hashing entirely.
+	allStateful := true
+	for i := range ps {
+		if !stateful(ps[i]) {
+			allStateful = false
+			break
 		}
-	} else {
-		err := pool.MapCtx(ctx, workers, n, func(i int) error {
-			a, err := ps[i].Partition(ctx, tr.Snapshots[i].H, nprocs)
-			if err != nil {
-				return err
+	}
+	sigs := make([]geom.Signature, n)
+	names := make([]string, n)
+	var err error
+	if !allStateful {
+		err = pool.MapCtx(ctx, workers, n, func(i int) error {
+			if stateful(ps[i]) {
+				// Stateful steps never consult a cache: their key slots
+				// stay zero and unread.
+				return nil
 			}
-			as[i] = a
+			bp := encBufPool.Get().(*[]byte)
+			var sig geom.Signature
+			sig, *bp = tr.Snapshots[i].H.SignatureWith((*bp)[:0])
+			encBufPool.Put(bp)
+			sigs[i] = sig
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		for i := range ps {
+			if !stateful(ps[i]) {
+				names[i] = memoName(ps[i])
+			}
+		}
 	}
 
-	// Phase 3 (parallel): evaluate each step into its own slot.
+	// Phase 2+3: partition and evaluate every snapshot. A stateless
+	// partitioner's step is a pure function of (content, configuration,
+	// nprocs, machine), so it is served from the process-wide
+	// content-addressed cache — computed at most once across runs, and
+	// across concurrent runs via the cache's singleflight. Stateful
+	// partitioners run sequentially in snapshot order and are never
+	// cached.
+	as := make([]*partition.Assignment, n)
 	res.Steps = make([]StepMetrics, n)
-	err := pool.MapCtx(ctx, workers, n, func(i int) error {
-		sm, err := Evaluate(ctx, tr.Snapshots[i].H, as[i], m)
+	cachedStep := func(i int) error {
+		key := stepKey{sig: sigs[i], name: names[i], nprocs: nprocs, m: m}
+		art, disp, err := stepCache.GetOrCompute(ctx, key, func() (stepArtifact, error) {
+			a, err := ps[i].Partition(ctx, tr.Snapshots[i].H, nprocs)
+			if err != nil {
+				return stepArtifact{}, err
+			}
+			sm, err := Evaluate(ctx, tr.Snapshots[i].H, a, m)
+			if err != nil {
+				return stepArtifact{}, err
+			}
+			return stepArtifact{a: a, sm: sm}, nil
+		})
 		if err != nil {
 			return err
 		}
-		sm.Step = tr.Snapshots[i].Step
+		if disp != memo.Miss {
+			partitionsMemoized.Add(1)
+			evaluationsMemoized.Add(1)
+		}
+		as[i] = art.a
+		sm := art.sm
+		// The artifact (and its Loads vector) is shared cache state;
+		// the Result hands Loads to callers the public API makes no
+		// immutability promise to, so each step gets its own copy.
+		sm.Loads = append([]int64(nil), sm.Loads...)
 		res.Steps[i] = sm
 		return nil
+	}
+	// Sequential strand: only the stateful steps chain carried state,
+	// and their chaining depends solely on their own relative order, so
+	// they partition in snapshot order here while every stateless step
+	// (partition + evaluation, via the cache) fans out below.
+	if anyStateful {
+		for i := range tr.Snapshots {
+			if !stateful(ps[i]) {
+				continue
+			}
+			a, err := ps[i].Partition(ctx, tr.Snapshots[i].H, nprocs)
+			if err != nil {
+				return nil, err
+			}
+			as[i] = a
+		}
+	}
+	err = pool.MapCtx(ctx, workers, n, func(i int) error {
+		if stateful(ps[i]) {
+			sm, err := Evaluate(ctx, tr.Snapshots[i].H, as[i], m)
+			if err != nil {
+				return err
+			}
+			res.Steps[i] = sm
+			return nil
+		}
+		return cachedStep(i)
 	})
 	if err != nil {
 		return nil, err
 	}
+	for i := range res.Steps {
+		res.Steps[i].Step = tr.Snapshots[i].Step
+	}
 
 	// Phase 4 (parallel over consecutive pairs): chain the migration
-	// metric over the precomputed assignments.
+	// metric over the precomputed assignments. Consecutive steps
+	// sharing one cached assignment over content-identical hierarchies
+	// move nothing — every point keeps its owner — so the overlap scan
+	// short-circuits to its exact result of zero; pairs of
+	// content-addressed steps go through the migration cache.
 	err = pool.MapCtx(ctx, workers, n-1, func(j int) error {
 		i := j + 1
 		sm := &res.Steps[i]
-		sm.Migration = Migration(tr.Snapshots[i-1].H, tr.Snapshots[i].H, as[i-1], as[i])
+		switch {
+		case as[i-1] == as[i]:
+			migrationsShortCut.Add(1)
+		case !stateful(ps[i-1]) && !stateful(ps[i]):
+			mk := migKey{
+				sigPrev: sigs[i-1], sigCur: sigs[i],
+				namePrev: names[i-1], nameCur: names[i],
+				nprocs: nprocs,
+			}
+			mv, disp, err := migCache.GetOrCompute(ctx, mk, func() (int64, error) {
+				return Migration(tr.Snapshots[i-1].H, tr.Snapshots[i].H, as[i-1], as[i]), nil
+			})
+			if err != nil {
+				return err
+			}
+			if disp != memo.Miss {
+				migrationsShortCut.Add(1)
+			}
+			sm.Migration = mv
+		default:
+			sm.Migration = Migration(tr.Snapshots[i-1].H, tr.Snapshots[i].H, as[i-1], as[i])
+		}
 		if np := tr.Snapshots[i-1].H.NumPoints(); np > 0 {
 			sm.RelativeMigration = float64(sm.Migration) / float64(np)
 		}
