@@ -70,6 +70,46 @@
 // the HTTP server runs with read/write timeouts derived from
 // -request-timeout so a stalled connection cannot pin a handler
 // forever.
+//
+// # Operating under load
+//
+// By default samrd accepts every request and lets the worker pool
+// arbitrate the CPU. Setting -max-inflight enables admission control
+// over the compute endpoints (/v1/select, /v1/partition, /v1/simulate):
+// at most that many requests compute at once, up to -queue-depth more
+// wait in a bounded queue (default 4x the cap), and everything beyond
+// that is shed immediately with 429 Too Many Requests, a JSON error
+// body, a Retry-After header (whole seconds, >= 1), and an X-Samr-Shed
+// header naming the reason (queue-full, rate-limit, or deadline). Shed
+// requests never run a partitioner and never touch the cache. The
+// interactive endpoints (/v1/select, /v1/partition) are dispatched
+// ahead of batch /v1/simulate work, both at the admission queue and
+// inside the worker pool, without starving batch.
+//
+//	samrd -addr :8347 -traces traces -max-inflight 8 -queue-depth 32
+//
+// Tenants are distinguished by the X-Samr-Tenant request header
+// (absent means the anonymous tenant). -tenant-rate grants each tenant
+// a token bucket of that many requests per second (0 disables rate
+// limiting) with -tenant-burst capacity, so one hot client cannot
+// monopolize admission; throttled requests get the same 429 shape with
+// X-Samr-Shed: rate-limit. Per-tenant admission counters appear under
+// "admission" in /v1/stats.
+//
+// A client may declare its remaining budget in X-Samr-Deadline-Ms;
+// samrd sheds the request up front (X-Samr-Shed: deadline) when the
+// expected queue wait already exceeds that budget, and otherwise uses
+// it to cap the request deadline below -request-timeout.
+//
+// /healthz stays a pure liveness probe. /readyz is the load-balancer
+// signal: it returns 503 {"status":"not ready","reason":"saturated"}
+// while the admission queue is full, and 503 with reason "draining"
+// once shutdown has begun, so rotations stop sending traffic before
+// the listener closes. Observability endpoints (/v1/stats, /v1/traces,
+// /healthz, /readyz) are never shed.
+//
+// With -max-inflight 0 (the default) admission is fully disabled and
+// responses are identical to a build without it.
 package main
 
 import (
@@ -89,13 +129,17 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8347", "listen address")
-		dir        = flag.String("traces", "", "directory of .trc trace files (loaded at startup and on demand)")
-		cache      = flag.Int("cache", 256, "partition cache capacity (results)")
-		procs      = flag.Int("procs", 16, "default processor count for requests that omit nprocs")
-		cost       = flag.Float64("partition-cost", 2e-4, "classifier partitioning-cost estimate (seconds)")
-		reqTimeout = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline threaded into partitioners and simulator (0 disables)")
-		maxBody    = flag.Int64("max-body-bytes", 64<<20, "request body size limit in bytes")
+		addr        = flag.String("addr", ":8347", "listen address")
+		dir         = flag.String("traces", "", "directory of .trc trace files (loaded at startup and on demand)")
+		cache       = flag.Int("cache", 256, "partition cache capacity (results)")
+		procs       = flag.Int("procs", 16, "default processor count for requests that omit nprocs")
+		cost        = flag.Float64("partition-cost", 2e-4, "classifier partitioning-cost estimate (seconds)")
+		reqTimeout  = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline threaded into partitioners and simulator (0 disables)")
+		maxBody     = flag.Int64("max-body-bytes", 64<<20, "request body size limit in bytes")
+		inflight    = flag.Int("max-inflight", 0, "max concurrently computing requests; 0 disables admission control")
+		queueDepth  = flag.Int("queue-depth", 0, "admission queue depth beyond -max-inflight (default 4x -max-inflight)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant admission rate limit in requests/second; 0 disables")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (default -tenant-rate rounded up, min 1)")
 	)
 	flag.Parse()
 
@@ -106,6 +150,10 @@ func main() {
 		PartitionCost:  *cost,
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBody,
+		MaxInFlight:    *inflight,
+		QueueDepth:     *queueDepth,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "samrd:", err)
@@ -144,11 +192,18 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
+		// Flip /readyz to "draining" before closing the listener so a
+		// load balancer stops routing here ahead of connection errors.
+		s.BeginShutdown()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(shutdownCtx) //nolint:errcheck
 	}()
 
+	if *inflight > 0 {
+		log.Printf("samrd: admission control on (max in-flight %d, queue %d, tenant rate %g/s)",
+			*inflight, s.Admission().Stats().QueueDepth, *tenantRate)
+	}
 	log.Printf("samrd: listening on %s (cache %d, default procs %d, request timeout %s)", *addr, *cache, *procs, *reqTimeout)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "samrd:", err)

@@ -17,8 +17,22 @@
 // its work mid-batch the same way (recorded as 499). Concurrent
 // identical cache misses are coalesced by a singleflight group — the
 // extra requests wait for the first compute and report
-// X-Samr-Cache: shared. The final section of this example demonstrates
-// the deadline wire error with a deliberately impossible timeout.
+// X-Samr-Cache: shared. The deadline section of this example
+// demonstrates the deadline wire error with a deliberately impossible
+// timeout.
+//
+// # Overload and retry
+//
+// With Config.MaxInFlight set (samrd's -max-inflight flag) the server
+// admits a bounded number of compute requests, queues a few more, and
+// sheds the rest with 429 + Retry-After before any partitioner runs;
+// /readyz flips to 503 "saturated" while the queue is full and to
+// "draining" once shutdown begins. The final section saturates a
+// one-slot server on purpose and shows the shed wire contract, the
+// readiness flip, the per-tenant admission counters in /v1/stats, and
+// a well-behaved client: postRetry retries 429/503 with jittered
+// exponential backoff, honors the server's Retry-After, caps its
+// attempts, and aborts as soon as its context does.
 package main
 
 import (
@@ -26,9 +40,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"time"
 
 	"samr/internal/apps"
@@ -142,7 +158,167 @@ func run() error {
 	var e server.ErrorResponse
 	json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
 	fmt.Printf("\nexpired deadline: HTTP %d, error=%q\n", resp.StatusCode, e.Error)
+
+	return overloadDemo(wire)
+}
+
+// overloadDemo saturates a one-slot server and walks through the
+// graceful-degradation surface: queue-full sheds, the /readyz flip,
+// admission counters, and a retrying client that honors Retry-After.
+func overloadDemo(wire []server.Hierarchy) error {
+	ov, err := server.New(server.Config{DefaultProcs: 8, MaxInFlight: 1, QueueDepth: 1})
+	if err != nil {
+		return err
+	}
+	// Stand in for an expensive partition: every compute leader parks
+	// until released, pinning the admission slot and the queue.
+	hold := make(chan struct{})
+	ov.Cache().SetOnFlight(func(_ server.CacheKey, leader bool) {
+		if leader {
+			<-hold
+		}
+	})
+	ots := httptest.NewServer(ov)
+	defer ots.Close()
+
+	fmt.Println("\noverload on a -max-inflight 1 -queue-depth 1 server:")
+	fmt.Printf("  /readyz idle: HTTP %d\n", readyz(ots.URL))
+
+	// Two slow requests: the first takes the in-flight slot, the second
+	// fills the queue.
+	bg := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		req := server.PartitionRequest{Hierarchy: &wire[0], Partitioner: "domain-hilbert-u2", NProcs: 4 + i}
+		go func() { bg <- post(ots.URL+"/v1/partition", req, &server.PartitionResponse{}, nil) }()
+	}
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		st := ov.Admission().Stats()
+		if st.InFlight == 1 && st.Queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("overload never built up: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("  /readyz saturated: HTTP %d\n", readyz(ots.URL))
+
+	// A third request finds slot and queue taken and is shed up front —
+	// no partitioner runs, the cache is never touched.
+	req3 := server.PartitionRequest{Hierarchy: &wire[0], Partitioner: "domain-hilbert-u2", NProcs: 6}
+	body, _ := json.Marshal(req3)
+	shedResp, err := http.Post(ots.URL+"/v1/partition", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var shedErr server.ErrorResponse
+	json.NewDecoder(shedResp.Body).Decode(&shedErr) //nolint:errcheck
+	shedResp.Body.Close()
+	fmt.Printf("  shed: HTTP %d, Retry-After=%ss, %s=%s, error=%q\n",
+		shedResp.StatusCode, shedResp.Header.Get("Retry-After"),
+		server.ShedHeader, shedResp.Header.Get(server.ShedHeader), shedErr.Error)
+
+	// A well-behaved client retries instead of giving up: first attempt
+	// is shed, the backoff honors Retry-After, and the retry lands once
+	// the slow work drains.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	retryDone := make(chan error, 1)
+	go func() {
+		var presp server.PartitionResponse
+		retryDone <- postRetry(ctx, ots.URL+"/v1/partition", "alice", req3, &presp, 5)
+	}()
+	time.Sleep(100 * time.Millisecond) // let the first attempt get shed
+	close(hold)
+	for i := 0; i < 2; i++ {
+		if err := <-bg; err != nil {
+			return err
+		}
+	}
+	if err := <-retryDone; err != nil {
+		return err
+	}
+
+	var st server.StatsResponse
+	if err := get(ots.URL+"/v1/stats", &st); err != nil {
+		return err
+	}
+	a := st.Admission
+	fmt.Printf("  admission: admitted=%d queued-total=%d shed-queue-full=%d tenants=%d\n",
+		a.Admitted, a.QueuedTotal, a.ShedQueueFull, len(a.Tenants))
+	fmt.Printf("  /readyz recovered: HTTP %d\n", readyz(ots.URL))
 	return nil
+}
+
+// readyz returns the status code of a GET /readyz.
+func readyz(base string) int {
+	r, err := http.Get(base + "/readyz")
+	if err != nil {
+		return 0
+	}
+	r.Body.Close()
+	return r.StatusCode
+}
+
+// postRetry posts like post but keeps trying through overload: 429
+// (shed) and 503 (not ready) responses are retried up to maxAttempts
+// times with jittered exponential backoff, using the server's
+// Retry-After as the floor for the wait when present. The context
+// bounds the whole exchange including the sleeps, so a cancelled
+// caller stops retrying immediately.
+func postRetry(ctx context.Context, url, tenant string, in, out any, maxAttempts int) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	backoff := 50 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set(server.TenantHeader, tenant)
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		if r.StatusCode == http.StatusOK {
+			err := json.NewDecoder(r.Body).Decode(out)
+			r.Body.Close()
+			if err == nil {
+				fmt.Printf("  retrying client: success on attempt %d\n", attempt)
+			}
+			return err
+		}
+		var e server.ErrorResponse
+		json.NewDecoder(r.Body).Decode(&e) //nolint:errcheck
+		r.Body.Close()
+		retryable := r.StatusCode == http.StatusTooManyRequests || r.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= maxAttempts {
+			return fmt.Errorf("%s: %s (%s) after %d attempts", url, r.Status, e.Error, attempt)
+		}
+		// Full jitter over the exponential step, floored by the
+		// server's own hint.
+		wait := backoff + rand.N(backoff)
+		if secs, aerr := strconv.Atoi(r.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			if ra := time.Duration(secs) * time.Second; ra > wait {
+				wait = ra
+			}
+		}
+		fmt.Printf("  retrying client: attempt %d got HTTP %d (%s), backing off %v\n",
+			attempt, r.StatusCode, r.Header.Get(server.ShedHeader), wait.Round(time.Millisecond))
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		backoff *= 2
+	}
 }
 
 // toWire converts the first n trace snapshots to wire hierarchies.

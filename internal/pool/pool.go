@@ -23,6 +23,51 @@ func Workers() int { return runtime.GOMAXPROCS(0) }
 // inner SimulateTrace fans out per-snapshot work).
 var active atomic.Int64
 
+// Class is a fan-out's dispatch priority. It is carried on the context
+// (WithClass), so a single annotation at the top of a request threads
+// through every nested MapCtx/RunCtx below it — the samrd handlers tag
+// /v1/select and /v1/partition Interactive and /v1/simulate Batch, and
+// the simulator's internal fan-outs inherit the tag without signature
+// changes.
+//
+// The priority is a helper-allocation policy, not a scheduler: the
+// calling goroutine of every fan-out always participates regardless of
+// class, so Batch work is never starved — it merely loses its extra
+// helper goroutines to Interactive work while any is dispatching, and
+// wins them back (the caller re-admits helpers between indices) once
+// the interactive burst drains.
+type Class int32
+
+const (
+	// Interactive is the default class: full helper admission.
+	Interactive Class = iota
+	// Batch yields helper goroutines to in-flight Interactive fan-outs.
+	Batch
+)
+
+// classKey carries a Class on a context.
+type classKey struct{}
+
+// WithClass returns a context carrying the dispatch class for every
+// pool fan-out below it.
+func WithClass(ctx context.Context, c Class) context.Context {
+	return context.WithValue(ctx, classKey{}, c)
+}
+
+// ClassOf returns the dispatch class carried by ctx (Interactive when
+// none is set).
+func ClassOf(ctx context.Context) Class {
+	if c, ok := ctx.Value(classKey{}).(Class); ok {
+		return c
+	}
+	return Interactive
+}
+
+// interactiveActive counts Interactive-class MapCtx fan-outs currently
+// dispatching in the process; Batch-class helpers poll it and retire so
+// the freed budget flows to the interactive work.
+var interactiveActive atomic.Int64
+
 // ForEach runs f(i) for every i in [0, n) on at most workers
 // goroutines, distributing indices dynamically (atomic counter) so
 // uneven step costs do not serialize on a static slicing. It returns
@@ -93,11 +138,19 @@ func Run(fns ...func()) {
 // MapCtx returns — f is expected to watch ctx itself for prompt
 // mid-call abort.
 //
+// The fan-out's dispatch class comes from the context (see Class /
+// WithClass): a Batch-class fan-out's helper goroutines retire between
+// indices while any Interactive-class fan-out is dispatching, and the
+// Batch caller re-admits helpers once the interactive work drains. The
+// calling goroutine itself never yields, so a Batch fan-out always
+// makes progress (starvation freedom) — the class only shifts where
+// the helper budget goes.
+//
 // On success (every index ran, all returned nil) the coverage guarantee
-// is exactly ForEach's, so index-slotted output stays bit-identical to
-// a sequential run. On failure the return value is the error of the
-// earliest index that reported one, or ctx.Err() when cancellation cut
-// the dispatch short before an f failed.
+// is exactly ForEach's regardless of class, so index-slotted output
+// stays bit-identical to a sequential run. On failure the return value
+// is the error of the earliest index that reported one, or ctx.Err()
+// when cancellation cut the dispatch short before an f failed.
 func MapCtx(ctx context.Context, workers, n int, f func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -117,10 +170,18 @@ func MapCtx(ctx context.Context, workers, n int, f func(i int) error) error {
 		return nil
 	}
 
+	class := ClassOf(ctx)
+	if class == Interactive {
+		interactiveActive.Add(1)
+		defer interactiveActive.Add(-1)
+	}
+
 	var (
-		next atomic.Int64
-		stop atomic.Bool
-		mu   sync.Mutex
+		next    atomic.Int64
+		stop    atomic.Bool
+		helpers atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
 	)
 	firstIdx := -1
 	var firstErr error
@@ -133,13 +194,46 @@ func MapCtx(ctx context.Context, workers, n int, f func(i int) error) error {
 		stop.Store(true)
 	}
 	done := ctx.Done()
-	work := func() {
+	budget := int64(runtime.GOMAXPROCS(0) - 1)
+	var work func(helper bool)
+	// trySpawn admits one more helper if the fan-out still wants one,
+	// the process-wide budget has room, and — for Batch work — no
+	// interactive fan-out is dispatching. The caller retries it between
+	// indices, so budget yielded by retiring helpers (or freed by other
+	// fan-outs finishing) is picked up without any blocking.
+	trySpawn := func() {
+		if helpers.Load() >= int64(workers-1) {
+			return
+		}
+		if class == Batch && interactiveActive.Load() > 0 {
+			return
+		}
+		if active.Add(1) > budget {
+			active.Add(-1)
+			return
+		}
+		helpers.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer active.Add(-1)
+			defer helpers.Add(-1)
+			work(true)
+		}()
+	}
+	work = func(helper bool) {
 		for !stop.Load() {
 			select {
 			case <-done:
 				stop.Store(true)
 				return
 			default:
+			}
+			if helper && class == Batch && interactiveActive.Load() > 0 {
+				return // yield the budget to the interactive fan-outs
+			}
+			if !helper {
+				trySpawn()
 			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
@@ -151,21 +245,10 @@ func MapCtx(ctx context.Context, workers, n int, f func(i int) error) error {
 			}
 		}
 	}
-	var wg sync.WaitGroup
-	budget := int64(runtime.GOMAXPROCS(0) - 1)
 	for w := 0; w < workers-1; w++ {
-		if active.Add(1) > budget {
-			active.Add(-1)
-			break
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer active.Add(-1)
-			work()
-		}()
+		trySpawn()
 	}
-	work()
+	work(false)
 	wg.Wait()
 	mu.Lock()
 	defer mu.Unlock()

@@ -1,0 +1,461 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"samr/internal/admit"
+)
+
+// admitTestConfig enables admission with roomy limits so only the
+// injected/forced paths shed.
+func admitTestConfig() Config {
+	return Config{MaxInFlight: 8, QueueDepth: 8}
+}
+
+// postTenant posts with admission headers.
+func postTenant(t *testing.T, url, tenant string, deadlineMs int, req, resp any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest("POST", url, jsonReader(t, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		hr.Header.Set(TenantHeader, tenant)
+	}
+	if deadlineMs > 0 {
+		hr.Header.Set(DeadlineHeader, strconv.Itoa(deadlineMs))
+	}
+	r, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	raw, _ := io.ReadAll(r.Body)
+	if resp != nil && r.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, resp); err != nil {
+			t.Fatalf("decoding %s response: %v\n%s", url, err, raw)
+		}
+	}
+	r.Body = io.NopCloser(jsonReader(t, raw))
+	return r
+}
+
+func jsonReader(t *testing.T, b []byte) io.Reader {
+	t.Helper()
+	return &sliceReader{b: b}
+}
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// checkShedResponse asserts the documented 429 wire shape: JSON error
+// body, Retry-After in whole seconds >= 1, and the reason header.
+func checkShedResponse(t *testing.T, r *http.Response, wantReason string) {
+	t.Helper()
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", r.StatusCode)
+	}
+	ra := r.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want integer seconds >= 1", ra)
+	}
+	if got := r.Header.Get(ShedHeader); got != wantReason {
+		t.Errorf("%s = %q, want %q", ShedHeader, got, wantReason)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("429 body not the documented JSON error: %v %+v", err, e)
+	}
+}
+
+// TestInjectedShedNeverExecutesPartitioner is the fault-injection
+// acceptance test: a request shed through the SetOnAdmit hook must
+// return the documented 429 without running any partitioner, without
+// touching the partition cache, and without leaking goroutines.
+func TestInjectedShedNeverExecutesPartitioner(t *testing.T) {
+	srv, ts := newTestServer(t, admitTestConfig())
+	srv.SetOnAdmit(func(ev admit.Event) error {
+		if ev.Tenant == "evil" {
+			return &admit.ShedError{Reason: admit.ReasonInjected, RetryAfter: 3 * time.Second}
+		}
+		return nil
+	})
+
+	// Close keep-alive connections before counting so lingering HTTP
+	// conn goroutines (client and server side) don't mask a real leak.
+	settle := func() int {
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		return runtime.NumGoroutine()
+	}
+	baseline := settle()
+
+	h := testHierarchy(1)
+	req := PartitionRequest{Hierarchy: &h, Partitioner: "nature+fable", NProcs: 8}
+	for i := 0; i < 8; i++ {
+		r := postTenant(t, ts.URL+"/v1/partition", "evil", 0, req, nil)
+		checkShedResponse(t, r, admit.ReasonInjected)
+		if got := r.Header.Get("Retry-After"); got != "3" {
+			t.Errorf("Retry-After = %q, want 3 (the injected hint)", got)
+		}
+	}
+
+	// No partitioner ran, nothing entered any cache.
+	if hits, misses, shared := srv.Cache().Stats(); hits != 0 || misses != 0 || shared != 0 {
+		t.Fatalf("shed requests reached the cache: hits=%d misses=%d shared=%d", hits, misses, shared)
+	}
+	if n := srv.Cache().Len(); n != 0 {
+		t.Fatalf("shed requests stored %d cache entries", n)
+	}
+	st := srv.Admission().Stats()
+	if st.ShedInjected != 8 || st.Admitted != 0 {
+		t.Fatalf("admission stats = %+v, want 8 injected sheds / 0 admits", st)
+	}
+	if ten := st.Tenants["evil"]; ten.Shed != 8 || ten.InFlight != 0 {
+		t.Fatalf("evil tenant stats = %+v, want 8 sheds / 0 in flight", ten)
+	}
+
+	// Goroutine count settles back to baseline: the shed path spawned
+	// nothing that outlives the request.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := settle(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A non-injected tenant still computes normally afterwards.
+	var resp PartitionResponse
+	if r := postTenant(t, ts.URL+"/v1/partition", "good", 0, req, &resp); r.StatusCode != http.StatusOK {
+		t.Fatalf("good tenant status = %d after evil's sheds", r.StatusCode)
+	}
+}
+
+// TestQueueFullShedBeforeCompute: with the single slot held by a
+// blocked compute and no queue, the next request is shed with the
+// queue-full 429 — and its shed path never starts a partitioner.
+func TestQueueFullShedBeforeCompute(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: 1})
+	holderIn := make(chan struct{})
+	holderGo := make(chan struct{})
+	var leaders atomic.Int32
+	// Block only the first compute leader (the slot holder); later
+	// leaders (the queued request, once granted) run through.
+	srv.Cache().SetOnFlight(func(k CacheKey, leader bool) {
+		if leader && leaders.Add(1) == 1 {
+			close(holderIn)
+			<-holderGo
+		}
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the slot holder, blocked inside its compute
+		defer wg.Done()
+		h := testHierarchy(0)
+		postTenant(t, ts.URL+"/v1/partition", "", 0, PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 4}, nil)
+	}()
+	<-holderIn
+
+	// Fill the one queue slot with a second request.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := testHierarchy(1)
+		postTenant(t, ts.URL+"/v1/partition", "", 0, PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 4}, nil)
+	}()
+	for srv.Admission().Stats().Queued != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// The third request finds cap reached and queue full: fast 429.
+	h := testHierarchy(2)
+	start := time.Now()
+	r := postTenant(t, ts.URL+"/v1/partition", "", 0, PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 4}, nil)
+	shedLatency := time.Since(start)
+	checkShedResponse(t, r, admit.ReasonQueueFull)
+	if shedLatency > 2*time.Second {
+		t.Errorf("shed took %v, want fail-fast", shedLatency)
+	}
+
+	close(holderGo)
+	wg.Wait()
+	// Exactly the two admitted requests computed; the shed one never
+	// reached a partitioner.
+	if _, misses, _ := srv.Cache().Stats(); misses != 2 {
+		t.Errorf("partitioner executions = %d, want 2 (holder + queued; never the shed)", misses)
+	}
+	st := srv.Admission().Stats()
+	if st.ShedQueueFull != 1 || st.Admitted != 2 {
+		t.Errorf("admission stats = %+v, want 1 queue-full shed / 2 admits", st)
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("gauges after drain = %+v, want zero", st)
+	}
+}
+
+// TestDeadlineBudgetShedsUpFront: a declared deadline budget smaller
+// than the estimated queue wait sheds with 429 instead of queueing the
+// request to die.
+func TestDeadlineBudgetShedsUpFront(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: 8})
+	holderIn := make(chan struct{})
+	holderGo := make(chan struct{})
+	var leaders atomic.Int32
+	srv.Cache().SetOnFlight(func(k CacheKey, leader bool) {
+		if leader && leaders.Add(1) == 1 {
+			close(holderIn)
+			<-holderGo
+		}
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := testHierarchy(0)
+		postTenant(t, ts.URL+"/v1/partition", "", 0, PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 4}, nil)
+	}()
+	<-holderIn
+
+	// 1ms of budget against a 100ms default service estimate: doomed.
+	h := testHierarchy(1)
+	r := postTenant(t, ts.URL+"/v1/partition", "", 1, PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 4}, nil)
+	checkShedResponse(t, r, admit.ReasonDeadline)
+
+	close(holderGo)
+	wg.Wait()
+	// Only the holder computed; the doomed request never did.
+	if _, misses, _ := srv.Cache().Stats(); misses != 1 {
+		t.Errorf("partitioner executions = %d, want 1 (doomed request must not compute)", misses)
+	}
+	if st := srv.Admission().Stats(); st.ShedDeadline != 1 {
+		t.Errorf("shed_deadline = %d, want 1", st.ShedDeadline)
+	}
+}
+
+// TestTenantRateLimitIsolation: a tenant over its rate is throttled
+// with 429 + Retry-After while other tenants are unaffected.
+func TestTenantRateLimitIsolation(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 8, QueueDepth: 8, TenantRate: 0.5, TenantBurst: 2})
+	h := testHierarchy(3)
+	req := PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 4}
+
+	for i := 0; i < 2; i++ {
+		if r := postTenant(t, ts.URL+"/v1/partition", "alice", 0, req, nil); r.StatusCode != http.StatusOK {
+			t.Fatalf("alice burst request %d: status %d", i, r.StatusCode)
+		}
+	}
+	r := postTenant(t, ts.URL+"/v1/partition", "alice", 0, req, nil)
+	checkShedResponse(t, r, admit.ReasonRateLimit)
+	if secs, _ := strconv.Atoi(r.Header.Get("Retry-After")); secs < 1 || secs > 3 {
+		t.Errorf("Retry-After = %q, want ~2s (one token at 0.5/s)", r.Header.Get("Retry-After"))
+	}
+	// Bob is unaffected by alice's exhausted bucket.
+	if r := postTenant(t, ts.URL+"/v1/partition", "bob", 0, req, nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("bob status = %d, want 200 (tenant isolation)", r.StatusCode)
+	}
+
+	st := srv.Admission().Stats()
+	if st.Tenants["alice"].Throttled != 1 || st.Tenants["bob"].Throttled != 0 {
+		t.Errorf("tenant throttle counters = alice %+v bob %+v", st.Tenants["alice"], st.Tenants["bob"])
+	}
+}
+
+// TestReadyzLifecycle pins the liveness/readiness split: /readyz is
+// 200 when idle, 503 while the accept queue is saturated, 503 after
+// BeginShutdown — and /healthz answers ok throughout.
+func TestReadyzLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: 1})
+
+	checkReady := func(wantCode int, wantReason string) {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != wantCode {
+			t.Fatalf("/readyz status = %d, want %d", r.StatusCode, wantCode)
+		}
+		var rr ReadyResponse
+		if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Reason != wantReason {
+			t.Errorf("/readyz reason = %q, want %q", rr.Reason, wantReason)
+		}
+	}
+	checkHealth := func() {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("/healthz = %d, want 200 (liveness is independent of readiness)", r.StatusCode)
+		}
+	}
+
+	checkReady(http.StatusOK, "")
+	checkHealth()
+
+	// Saturate: block the slot, fill the queue.
+	holderIn := make(chan struct{})
+	holderGo := make(chan struct{})
+	var leaders atomic.Int32
+	srv.Cache().SetOnFlight(func(k CacheKey, leader bool) {
+		if leader && leaders.Add(1) == 1 {
+			close(holderIn)
+			<-holderGo
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := testHierarchy(i)
+			postTenant(t, ts.URL+"/v1/partition", "", 0, PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 4}, nil)
+		}(i)
+		if i == 0 {
+			<-holderIn
+		}
+	}
+	for !srv.Admission().Saturated() {
+		time.Sleep(100 * time.Microsecond)
+	}
+	checkReady(http.StatusServiceUnavailable, "saturated")
+	checkHealth()
+
+	close(holderGo)
+	wg.Wait()
+	checkReady(http.StatusOK, "")
+
+	srv.BeginShutdown()
+	checkReady(http.StatusServiceUnavailable, "draining")
+	checkHealth()
+}
+
+// TestAdmissionDisabledIsTransparent: with MaxInFlight 0 the admission
+// layer must vanish — no admission headers, no admission stats block,
+// and partition responses byte-identical to an admission-enabled
+// server's for the same request (the disabled path adds or removes
+// nothing from the wire).
+func TestAdmissionDisabledIsTransparent(t *testing.T) {
+	_, tsOff := newTestServer(t, Config{})
+	_, tsOn := newTestServer(t, admitTestConfig())
+
+	h := testHierarchy(5)
+	req := PartitionRequest{Hierarchy: &h, Partitioner: "domain-hilbert-u2", NProcs: 8}
+	read := func(ts string) ([]byte, http.Header) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := http.Post(ts+"/v1/partition", "application/json", jsonReader(t, body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", r.StatusCode)
+		}
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, r.Header
+	}
+	offBody, offHdr := read(tsOff.URL)
+	onBody, _ := read(tsOn.URL)
+	if string(offBody) != string(onBody) {
+		t.Errorf("partition responses differ between admission off/on:\noff: %s\non:  %s", offBody, onBody)
+	}
+	for _, hdr := range []string{"Retry-After", ShedHeader} {
+		if v := offHdr.Get(hdr); v != "" {
+			t.Errorf("disabled server emitted %s=%q", hdr, v)
+		}
+	}
+
+	// The disabled server's stats carry no admission block at all.
+	r, err := http.Get(tsOff.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["admission"]; ok {
+		t.Error("disabled server reports an admission stats block")
+	}
+	// SetOnAdmit is a no-op rather than a panic while disabled.
+	srvOff, _ := newTestServer(t, Config{})
+	srvOff.SetOnAdmit(func(admit.Event) error { return nil })
+	if srvOff.Admission() != nil {
+		t.Error("disabled server exposes an admission controller")
+	}
+}
+
+// TestSimulateIsBatchClassAndGuarded: /v1/simulate passes through
+// admission like the interactive endpoints (an injected shed reaches
+// it) — the class split is about pool priority, not about bypassing
+// the gate.
+func TestSimulateIsBatchClassAndGuarded(t *testing.T) {
+	srv, ts := newTestServer(t, admitTestConfig())
+	srv.Registry().Register("synthetic", testTrace(4))
+	var sawBatch bool
+	srv.SetOnAdmit(func(ev admit.Event) error {
+		if ev.Priority == admit.Batch {
+			sawBatch = true
+			return &admit.ShedError{Reason: admit.ReasonInjected, RetryAfter: time.Second}
+		}
+		return nil
+	})
+	r := postTenant(t, ts.URL+"/v1/simulate", "", 0, SimulateRequest{Trace: "synthetic", Partitioner: "domain", NProcs: 4}, nil)
+	checkShedResponse(t, r, admit.ReasonInjected)
+	if !sawBatch {
+		t.Error("simulate request did not reach admission as Batch priority")
+	}
+
+	// Observability endpoints bypass admission even when everything
+	// compute-shaped is shed.
+	for _, path := range []string{"/v1/stats", "/v1/traces", "/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			t.Errorf("%s was shed; observability must bypass admission", path)
+		}
+	}
+}

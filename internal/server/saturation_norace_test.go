@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// satLatSlack scales the saturation suite's latency bounds. Without
+// the race detector the calibrated bounds hold as-is.
+const satLatSlack = 1

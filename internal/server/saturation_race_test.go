@@ -1,0 +1,10 @@
+//go:build race
+
+package server
+
+// satLatSlack scales the saturation suite's latency bounds. The race
+// detector slows the HTTP path and the scheduler far more than the
+// calibrated spin (which self-adjusts), so the latency assertions get
+// headroom; the structural assertions (sheds happen, wire contract,
+// shed-never-computes, goodput >= baseline) stay as tight as ever.
+const satLatSlack = 3

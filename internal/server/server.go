@@ -27,6 +27,27 @@
 // consuming CPU mid-batch instead of running to completion. A request
 // whose deadline expires returns 504 with a JSON error; one whose
 // client disconnected returns the nginx-conventional 499.
+//
+// # Overload behavior
+//
+// When Config.MaxInFlight is positive the compute endpoints
+// (/v1/select, /v1/partition, /v1/simulate) sit behind the admission
+// controller of internal/admit, applied after the body-size limit and
+// before the request deadline is attached (body limit → admission →
+// deadline → handler). A request that cannot be admitted — tenant over
+// its rate (keyed by the X-Samr-Tenant header), accept queue full, or
+// declared deadline budget (X-Samr-Deadline-Ms) smaller than the
+// estimated queue wait — is shed with 429 Too Many Requests, a JSON
+// error body, a Retry-After header (seconds), and an X-Samr-Shed
+// header naming the reason, all before any partitioner runs. Admitted
+// requests carry a pool dispatch class: select and partition are
+// Interactive, simulate is Batch, so interactive regrid decisions
+// preempt offline trace evaluation for the worker budget without
+// starving it. GET /readyz reports 503 while the accept queue is
+// saturated or shutdown has begun (BeginShutdown), so a fronting load
+// balancer drains before requests are shed; GET /healthz stays pure
+// liveness. With MaxInFlight zero (the default) admission is disabled
+// and every response is exactly the pre-admission behavior.
 package server
 
 import (
@@ -34,11 +55,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"samr/internal/admit"
 	"samr/internal/core"
 	"samr/internal/grid"
 	"samr/internal/partition"
@@ -71,6 +94,22 @@ type Config struct {
 	// hierarchies are a few MB of JSON, so that is ample headroom
 	// without inviting abuse).
 	MaxBodyBytes int64
+	// MaxInFlight caps concurrently admitted compute requests
+	// (select/partition/simulate). Zero disables admission control
+	// entirely: no queueing, no shedding, no per-tenant limits —
+	// responses are byte-identical to the pre-admission server.
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for an in-flight slot when
+	// MaxInFlight is reached (default 4×MaxInFlight; meaningful only
+	// with MaxInFlight > 0). Requests past the queue are shed with 429.
+	QueueDepth int
+	// TenantRate is each tenant's sustained admission rate in requests
+	// per second, keyed by the X-Samr-Tenant header (0 disables tenant
+	// rate limiting; meaningful only with MaxInFlight > 0).
+	TenantRate float64
+	// TenantBurst is each tenant's token-bucket burst capacity
+	// (default ceil(TenantRate)).
+	TenantBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,8 +131,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.MaxInFlight > 0 && c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxInFlight
+	}
 	return c
 }
+
+// Request headers of the admission layer.
+const (
+	// TenantHeader names the requesting tenant for per-tenant rate
+	// limits and accounting; absent means the anonymous tenant.
+	TenantHeader = "X-Samr-Tenant"
+	// DeadlineHeader declares the client's total deadline budget for
+	// the request in milliseconds. Admission sheds the request up
+	// front (429, ReasonDeadline) when the estimated queue wait
+	// already exceeds the budget, and the remaining budget caps the
+	// handler deadline like Config.RequestTimeout (whichever is
+	// smaller wins). Invalid or absent values are ignored.
+	DeadlineHeader = "X-Samr-Deadline-Ms"
+	// ShedHeader carries the shed reason on 429 responses.
+	ShedHeader = "X-Samr-Shed"
+)
 
 // StatusClientClosedRequest is the nginx-conventional status for a
 // request whose client went away before a response was produced. It is
@@ -112,9 +170,11 @@ type Server struct {
 	cache    *PartitionCache
 	registry *TraceRegistry
 	mux      *http.ServeMux
+	admit    *admit.Controller // nil = admission disabled
 
-	inFlight  atomic.Int64
-	endpoints map[string]*endpointStats
+	inFlight     atomic.Int64
+	endpoints    map[string]*endpointStats
+	shuttingDown atomic.Bool
 }
 
 // New builds a server, loading every trace already present in
@@ -128,18 +188,27 @@ func New(cfg Config) (*Server, error) {
 		registry:  NewTraceRegistry(cfg.TraceDir),
 		endpoints: make(map[string]*endpointStats),
 	}
+	if cfg.MaxInFlight > 0 {
+		s.admit = admit.New(admit.Config{
+			MaxInFlight: cfg.MaxInFlight,
+			QueueDepth:  cfg.QueueDepth,
+			TenantRate:  cfg.TenantRate,
+			TenantBurst: cfg.TenantBurst,
+		})
+	}
 	if _, err := s.registry.LoadDir(); err != nil {
 		return nil, err
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/select", s.instrument("select", s.handleSelect))
-	s.mux.HandleFunc("POST /v1/partition", s.instrument("partition", s.handlePartition))
-	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
-	s.mux.HandleFunc("GET /v1/traces", s.instrument("traces", s.handleTraces))
-	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("POST /v1/select", s.instrument("select", admit.Interactive, s.handleSelect))
+	s.mux.HandleFunc("POST /v1/partition", s.instrument("partition", admit.Interactive, s.handlePartition))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", admit.Batch, s.handleSimulate))
+	s.mux.HandleFunc("GET /v1/traces", s.observe("traces", s.handleTraces))
+	s.mux.HandleFunc("GET /v1/stats", s.observe("stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n")) //nolint:errcheck
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s, nil
 }
 
@@ -150,33 +219,143 @@ func (s *Server) Registry() *TraceRegistry { return s.registry }
 // Cache exposes the partition cache for stats reporting.
 func (s *Server) Cache() *PartitionCache { return s.cache }
 
-// ServeHTTP implements http.Handler.
+// Admission exposes the admission controller (nil when disabled) for
+// stats reporting and operational tooling.
+func (s *Server) Admission() *admit.Controller { return s.admit }
+
+// SetOnAdmit installs the test-only admission fault-injection and
+// interleaving hook, mirroring the cache's SetOnFlight: it runs at the
+// top of every guarded request's admission; a non-nil return forces
+// that request to be shed. It is a no-op while admission is disabled.
+func (s *Server) SetOnAdmit(hook func(admit.Event) error) {
+	if s.admit != nil {
+		s.admit.SetOnAdmit(hook)
+	}
+}
+
+// BeginShutdown flips /readyz to 503 so a fronting load balancer stops
+// routing new traffic; in-flight and already-queued requests drain
+// normally. The daemon calls it on SIGTERM before http.Server.Shutdown.
+func (s *Server) BeginShutdown() { s.shuttingDown.Store(true) }
+
+// ServeHTTP implements http.Handler. The body-size limit is the first
+// middleware: it precedes admission, which precedes the deadline.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	s.mux.ServeHTTP(w, r)
 }
 
-// instrument wraps a handler with the per-endpoint request/error
-// counters, the process-wide in-flight gauge, and the per-request
-// deadline from Config.RequestTimeout.
-func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a compute handler with, in order: the per-endpoint
+// request/error counters and in-flight gauge, admission control (when
+// enabled), the per-request deadline (Config.RequestTimeout capped
+// further by any X-Samr-Deadline-Ms budget), and the pool dispatch
+// class for every fan-out below the handler.
+func (s *Server) instrument(name string, pri admit.Priority, h http.HandlerFunc) http.HandlerFunc {
+	es := &endpointStats{}
+	s.endpoints[name] = es
+	class := pool.Interactive
+	if pri == admit.Batch {
+		class = pool.Batch
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		es.requests.Add(1)
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if sw.code >= 400 {
+				es.errors.Add(1)
+			}
+		}()
+
+		budget := deadlineBudget(r)
+		if s.admit != nil {
+			release, err := s.admit.Admit(r.Context(), r.Header.Get(TenantHeader), pri, budget)
+			if err != nil {
+				var shed *admit.ShedError
+				if errors.As(err, &shed) {
+					writeShed(sw, shed)
+				} else {
+					writeFailure(sw, err)
+				}
+				return
+			}
+			defer release()
+		}
+
+		timeout := s.cfg.RequestTimeout
+		if budget > 0 && (timeout <= 0 || budget < timeout) {
+			timeout = budget
+		}
+		ctx := r.Context()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		r = r.WithContext(pool.WithClass(ctx, class))
+		h(sw, r)
+	}
+}
+
+// observe wraps a read-only endpoint with counters only: observability
+// must keep answering while the compute path sheds load, so these
+// endpoints bypass admission and the deadline.
+func (s *Server) observe(name string, h http.HandlerFunc) http.HandlerFunc {
 	es := &endpointStats{}
 	s.endpoints[name] = es
 	return func(w http.ResponseWriter, r *http.Request) {
 		es.requests.Add(1)
 		s.inFlight.Add(1)
 		defer s.inFlight.Add(-1)
-		if s.cfg.RequestTimeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
-		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		if sw.code >= 400 {
 			es.errors.Add(1)
 		}
 	}
+}
+
+// deadlineBudget parses the client-declared X-Samr-Deadline-Ms budget
+// (0 when absent or invalid).
+func deadlineBudget(r *http.Request) time.Duration {
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// handleReady is the readiness probe: NOT READY (503) once shutdown
+// has begun or while the admission queue is saturated, so a fronting
+// load balancer drains traffic before requests are shed. Liveness
+// stays on /healthz.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.shuttingDown.Load():
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "not ready", Reason: "draining"})
+	case s.admit != nil && s.admit.Saturated():
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "not ready", Reason: "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready"})
+	}
+}
+
+// writeShed emits the 429 load-shedding wire error: JSON body,
+// Retry-After in whole seconds (rounded up, minimum 1), and the reason
+// header.
+func writeShed(w http.ResponseWriter, shed *admit.ShedError) {
+	secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set(ShedHeader, shed.Reason)
+	writeErr(w, http.StatusTooManyRequests, "%v", shed)
 }
 
 // statusWriter records the response status for error accounting.
@@ -498,6 +677,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:  s.inFlight.Load(),
 		PoolSize:  pool.Workers(),
 		Endpoints: make(map[string]EndpointCounters, len(s.endpoints)),
+	}
+	if s.admit != nil {
+		st := s.admit.Stats()
+		resp.Admission = &st
 	}
 	for name, es := range s.endpoints {
 		resp.Endpoints[name] = EndpointCounters{

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 
+	"samr/internal/admit"
 	"samr/internal/core"
 	"samr/internal/geom"
 	"samr/internal/grid"
@@ -294,6 +295,14 @@ type MemoCounters struct {
 	MigrationsShortCircuited uint64 `json:"migrations_short_circuited"`
 }
 
+// ReadyResponse is the body of GET /readyz: Status is "ready" (200) or
+// "not ready" (503), with Reason naming why ("draining" once shutdown
+// began, "saturated" while the admission queue is full).
+type ReadyResponse struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
 // StatsResponse is the reply of GET /v1/stats.
 type StatsResponse struct {
 	Cache CacheCounters `json:"cache"`
@@ -310,4 +319,9 @@ type StatsResponse struct {
 	// out over.
 	PoolSize  int                         `json:"pool_size"`
 	Endpoints map[string]EndpointCounters `json:"endpoints"`
+	// Admission is the admission controller's counters and per-tenant
+	// gauges (shed/queued/throttled accounting); absent while
+	// admission is disabled, keeping the disabled-mode stats reply
+	// identical to the pre-admission wire format.
+	Admission *admit.Stats `json:"admission,omitempty"`
 }

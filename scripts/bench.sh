@@ -4,7 +4,7 @@
 # across PRs.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          (default BENCH_PR5.json)
+#   scripts/bench.sh [output.json]          (default BENCH_PR6.json)
 #   BENCHTIME=5x scripts/bench.sh           (more iterations per benchmark)
 #   BENCH_FILTER='TraceGeneration' scripts/bench.sh
 #
@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR5.json}
+out=${1:-BENCH_PR6.json}
 benchtime=${BENCHTIME:-3x}
 filter=${BENCH_FILTER:-'BenchmarkTraceGeneration|BenchmarkSimulateTraceParallel|BenchmarkFig|BenchmarkClassificationTrajectory|BenchmarkAblation|BenchmarkMetaPartitionerVsStatic|BenchmarkBoxIndexQuery'}
 
