@@ -110,6 +110,38 @@
 //
 // With -max-inflight 0 (the default) admission is fully disabled and
 // responses are identical to a build without it.
+//
+// # Running a fleet
+//
+// Several samrd daemons can share their partition caches through the
+// fleet tier: a disk store per daemon plus an HTTP peer protocol
+// (GET/PUT /v1/tier/{key}) over which each content-addressed result
+// lives on the fleet member chosen by rendezvous hashing. A result
+// computed by any member is then served by every member — from its own
+// disk, or from the key's owner in one hop — without recomputation.
+//
+// Start two daemons that know each other (every member passes the SAME
+// -tier-peers list, naming all members including itself, and its own
+// URL as -tier-self):
+//
+//	samrd -addr :8347 -tier-dir /var/cache/samr-a \
+//	      -tier-peers http://10.0.0.1:8347,http://10.0.0.2:8347 \
+//	      -tier-self  http://10.0.0.1:8347
+//	samrd -addr :8347 -tier-dir /var/cache/samr-b \
+//	      -tier-peers http://10.0.0.1:8347,http://10.0.0.2:8347 \
+//	      -tier-self  http://10.0.0.2:8347
+//
+// POST a partition request to the first daemon, then the identical
+// request to the second: the second answers with X-Samr-Cache: tier —
+// the bytes came from the fleet, not from a partitioner run. The tier
+// is a pure optimization layer: a dead peer, a full or corrupt disk
+// store, or an open circuit breaker degrades to computing locally,
+// never to a client-visible error, and stateful postmap(...) specs
+// bypass the tier entirely (their results depend on request history).
+// -tier-max-bytes bounds each disk store; the oldest entries are
+// evicted first. With no tier flags set, the tier is fully disabled
+// and responses are byte-identical to a build without it. Tier
+// counters appear under "tier" in /v1/stats.
 package main
 
 import (
@@ -121,6 +153,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -140,8 +173,19 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 0, "admission queue depth beyond -max-inflight (default 4x -max-inflight)")
 		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant admission rate limit in requests/second; 0 disables")
 		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (default -tenant-rate rounded up, min 1)")
+		tierDir     = flag.String("tier-dir", "", "fleet tier disk store directory (empty disables the tier)")
+		tierPeers   = flag.String("tier-peers", "", "comma-separated base URLs of every fleet member, identical across the fleet")
+		tierSelf    = flag.String("tier-self", "", "this daemon's own base URL as listed in -tier-peers")
+		tierMax     = flag.Int64("tier-max-bytes", 256<<20, "fleet tier disk store size bound in bytes")
 	)
 	flag.Parse()
+
+	var peers []string
+	for _, p := range strings.Split(*tierPeers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
 
 	s, err := server.New(server.Config{
 		TraceDir:       *dir,
@@ -154,6 +198,10 @@ func main() {
 		QueueDepth:     *queueDepth,
 		TenantRate:     *tenantRate,
 		TenantBurst:    *tenantBurst,
+		TierDir:        *tierDir,
+		TierMaxBytes:   *tierMax,
+		TierPeers:      peers,
+		TierSelf:       *tierSelf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "samrd:", err)
@@ -200,6 +248,9 @@ func main() {
 		hs.Shutdown(shutdownCtx) //nolint:errcheck
 	}()
 
+	if s.Tier() != nil {
+		log.Printf("samrd: fleet tier on (dir %q, %d peers, %d byte bound)", *tierDir, len(peers), *tierMax)
+	}
 	if *inflight > 0 {
 		log.Printf("samrd: admission control on (max in-flight %d, queue %d, tenant rate %g/s)",
 			*inflight, s.Admission().Stats().QueueDepth, *tenantRate)

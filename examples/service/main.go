@@ -31,8 +31,18 @@
 // one-slot server on purpose and shows the shed wire contract, the
 // readiness flip, the per-tenant admission counters in /v1/stats, and
 // a well-behaved client: postRetry retries 429/503 with jittered
-// exponential backoff, honors the server's Retry-After, caps its
-// attempts, and aborts as soon as its context does.
+// exponential backoff (the shared internal/backoff policy — the same
+// one the fleet tier's peer client uses), honors the server's
+// Retry-After, caps its attempts, and aborts as soon as its context
+// does.
+//
+// # Fleet tier
+//
+// The fleet section stands up two daemons that share their partition
+// caches through the fleet tier (samrd's -tier-dir/-tier-peers/
+// -tier-self flags): a partition computed by the first daemon is
+// served by the second with X-Samr-Cache: tier — the bytes came over
+// the peer protocol, not from a partitioner run.
 package main
 
 import (
@@ -40,7 +50,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"math/rand/v2"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -48,6 +58,7 @@ import (
 	"time"
 
 	"samr/internal/apps"
+	"samr/internal/backoff"
 	"samr/internal/server"
 	"samr/internal/trace"
 )
@@ -159,7 +170,67 @@ func run() error {
 	json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
 	fmt.Printf("\nexpired deadline: HTTP %d, error=%q\n", resp.StatusCode, e.Error)
 
+	if err := fleetDemo(wire); err != nil {
+		return err
+	}
 	return overloadDemo(wire)
+}
+
+// fleetDemo runs a two-daemon fleet sharing one logical partition
+// cache through the fleet tier: daemon A computes, daemon B serves the
+// identical bytes with X-Samr-Cache: tier.
+func fleetDemo(wire []server.Hierarchy) error {
+	fmt.Println("\nfleet tier across two daemons:")
+	const n = 2
+	urls := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range urls {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	servers := make([]*server.Server, n)
+	for i := range urls {
+		dir, err := os.MkdirTemp("", "samr-tier-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir) //nolint:errcheck
+		s, err := server.New(server.Config{
+			DefaultProcs: 8,
+			TierDir:      dir,
+			TierPeers:    urls,
+			TierSelf:     urls[i],
+		})
+		if err != nil {
+			return err
+		}
+		servers[i] = s
+		ts := httptest.NewUnstartedServer(s)
+		ts.Listener.Close() //nolint:errcheck
+		ts.Listener = listeners[i]
+		ts.Start()
+		defer ts.Close()
+	}
+
+	req := server.PartitionRequest{Hierarchy: &wire[0], Partitioner: "nature+fable", NProcs: 8}
+	for i, url := range urls {
+		var presp server.PartitionResponse
+		var hdr http.Header
+		if err := post(url+"/v1/partition", req, &presp, &hdr); err != nil {
+			return err
+		}
+		r := presp.Results[0]
+		fmt.Printf("  daemon %c: cache=%-4s sig=%.12s fragments=%d\n",
+			'A'+i, hdr.Get("X-Samr-Cache"), r.Signature, len(r.Fragments))
+	}
+	st := servers[1].Tier().Stats()
+	fmt.Printf("  daemon B tier: lookups=%d disk_hits=%d peer_hits=%d stores=%d\n",
+		st.Lookups, st.DiskHits, st.PeerHits, st.Stores)
+	return nil
 }
 
 // overloadDemo saturates a one-slot server and walks through the
@@ -262,17 +333,20 @@ func readyz(base string) int {
 
 // postRetry posts like post but keeps trying through overload: 429
 // (shed) and 503 (not ready) responses are retried up to maxAttempts
-// times with jittered exponential backoff, using the server's
-// Retry-After as the floor for the wait when present. The context
-// bounds the whole exchange including the sleeps, so a cancelled
-// caller stops retrying immediately.
+// times through the shared internal/backoff policy — jittered
+// exponential backoff with the server's Retry-After as the floor for
+// the wait when present. The context bounds the whole exchange
+// including the sleeps, so a cancelled caller stops retrying
+// immediately.
 func postRetry(ctx context.Context, url, tenant string, in, out any, maxAttempts int) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	backoff := 50 * time.Millisecond
-	for attempt := 1; ; attempt++ {
+	pol := backoff.Policy{Attempts: maxAttempts, Base: 50 * time.Millisecond, Max: 5 * time.Second}
+	attempt := 0
+	return backoff.Retry(ctx, pol, func(ctx context.Context) error {
+		attempt++
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
 			return err
@@ -296,29 +370,17 @@ func postRetry(ctx context.Context, url, tenant string, in, out any, maxAttempts
 		var e server.ErrorResponse
 		json.NewDecoder(r.Body).Decode(&e) //nolint:errcheck
 		r.Body.Close()
-		retryable := r.StatusCode == http.StatusTooManyRequests || r.StatusCode == http.StatusServiceUnavailable
-		if !retryable || attempt >= maxAttempts {
-			return fmt.Errorf("%s: %s (%s) after %d attempts", url, r.Status, e.Error, attempt)
+		wireErr := fmt.Errorf("%s: %s (%s) after %d attempts", url, r.Status, e.Error, attempt)
+		if r.StatusCode != http.StatusTooManyRequests && r.StatusCode != http.StatusServiceUnavailable {
+			return wireErr // terminal: not an overload signal
 		}
-		// Full jitter over the exponential step, floored by the
-		// server's own hint.
-		wait := backoff + rand.N(backoff)
+		fmt.Printf("  retrying client: attempt %d got HTTP %d (%s), backing off\n",
+			attempt, r.StatusCode, r.Header.Get(server.ShedHeader))
 		if secs, aerr := strconv.Atoi(r.Header.Get("Retry-After")); aerr == nil && secs > 0 {
-			if ra := time.Duration(secs) * time.Second; ra > wait {
-				wait = ra
-			}
+			return backoff.RetryableAfter(wireErr, time.Duration(secs)*time.Second)
 		}
-		fmt.Printf("  retrying client: attempt %d got HTTP %d (%s), backing off %v\n",
-			attempt, r.StatusCode, r.Header.Get(server.ShedHeader), wait.Round(time.Millisecond))
-		t := time.NewTimer(wait)
-		select {
-		case <-ctx.Done():
-			t.Stop()
-			return ctx.Err()
-		case <-t.C:
-		}
-		backoff *= 2
-	}
+		return backoff.Retryable(wireErr)
+	})
 }
 
 // toWire converts the first n trace snapshots to wire hierarchies.

@@ -1,0 +1,105 @@
+// Package backoff is the shared retry policy of the repository's HTTP
+// clients: the examples' well-behaved service client and the fleet
+// cache tier's peer client. One implementation keeps every retry loop
+// honest about the same three things — jittered exponential growth so
+// synchronized clients spread out, the server's own Retry-After hint
+// as a floor on the wait (a server that names a recovery time knows
+// better than the client's schedule), and context-aware sleeping so a
+// cancelled caller stops retrying immediately instead of finishing its
+// backoff.
+package backoff
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// Policy shapes a retry loop; zero values select the defaults.
+type Policy struct {
+	// Attempts is the maximum number of tries including the first
+	// (default 5).
+	Attempts int
+	// Base is the pre-jitter wait before the second attempt; each
+	// further wait doubles it (default 50ms).
+	Base time.Duration
+	// Max caps the pre-jitter wait (default 5s). Retry-After hints may
+	// exceed it: an explicit server instruction outranks the cap.
+	Max time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	return p
+}
+
+// ErrRetryable marks an attempt error as retryable: Retry keeps going
+// when (and only when) the attempt's error wraps it, so transport
+// failures and retryable status codes share one signal.
+var ErrRetryable = errors.New("retryable")
+
+// Hint attaches a server-provided wait floor (Retry-After) to a
+// retryable error. It unwraps to both the cause and ErrRetryable, so
+// errors.Is sees the underlying failure and Retry sees the signal,
+// while the message stays the cause's own.
+type Hint struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+func (h *Hint) Error() string   { return h.Err.Error() }
+func (h *Hint) Unwrap() []error { return []error{h.Err, ErrRetryable} }
+
+// Retryable wraps err as retryable with no wait hint.
+func Retryable(err error) error { return &Hint{Err: err} }
+
+// RetryableAfter wraps err as retryable with the server's Retry-After
+// floor on the next wait.
+func RetryableAfter(err error, after time.Duration) error {
+	return &Hint{Err: err, RetryAfter: after}
+}
+
+// Retry runs op until it succeeds, fails terminally, exhausts
+// p.Attempts, or ctx ends. An attempt error wrapping ErrRetryable
+// (build one with Retryable / RetryableAfter) triggers a wait and the
+// next attempt; any other error returns immediately. Each wait is the
+// exponential step plus full jitter (a uniform extra step), floored by
+// the attempt's Retry-After hint when one is present, and interrupted
+// by ctx: a cancelled caller gets ctx's error without sleeping out the
+// backoff. When attempts run out, the last attempt's error is
+// returned.
+func Retry(ctx context.Context, p Policy, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	wait := p.Base
+	for attempt := 1; ; attempt++ {
+		err := op(ctx)
+		if err == nil || !errors.Is(err, ErrRetryable) || attempt >= p.Attempts {
+			return err
+		}
+		step := min(wait, p.Max)
+		// Full jitter over the exponential step, floored by the
+		// server's own hint.
+		d := step + rand.N(step)
+		var hint *Hint
+		if errors.As(err, &hint) && hint.RetryAfter > d {
+			d = hint.RetryAfter
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		wait *= 2
+	}
+}

@@ -1,0 +1,114 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var bg = context.Background()
+
+// fast is a policy whose waits keep tests well under a second.
+var fast = Policy{Attempts: 4, Base: time.Millisecond, Max: 4 * time.Millisecond}
+
+func TestSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	if err := Retry(bg, fast, func(context.Context) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRetriesOnlyRetryable(t *testing.T) {
+	terminal := errors.New("terminal")
+	calls := 0
+	err := Retry(bg, fast, func(context.Context) error { calls++; return terminal })
+	if !errors.Is(err, terminal) || calls != 1 {
+		t.Fatalf("terminal error: err=%v calls=%d, want immediate return", err, calls)
+	}
+
+	calls = 0
+	err = Retry(bg, fast, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return Retryable(fmt.Errorf("flaky %d", calls))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("flaky op: err=%v calls=%d, want success on 3rd", err, calls)
+	}
+}
+
+func TestAttemptsExhaustedReturnsLastError(t *testing.T) {
+	calls := 0
+	err := Retry(bg, fast, func(context.Context) error {
+		calls++
+		return Retryable(fmt.Errorf("attempt %d", calls))
+	})
+	if calls != fast.Attempts {
+		t.Fatalf("calls = %d, want %d", calls, fast.Attempts)
+	}
+	if err == nil || !errors.Is(err, ErrRetryable) || err.Error() != "attempt 4" {
+		t.Fatalf("err = %v, want last attempt's error", err)
+	}
+}
+
+func TestRetryAfterFloorsWait(t *testing.T) {
+	const floor = 60 * time.Millisecond
+	calls := 0
+	start := time.Now()
+	err := Retry(bg, Policy{Attempts: 2, Base: time.Millisecond}, func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return RetryableAfter(errors.New("busy"), floor)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < floor {
+		t.Fatalf("waited %v, want >= the server's %v hint", got, floor)
+	}
+}
+
+func TestContextCancelsSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, Policy{Attempts: 3, Base: time.Hour}, func(context.Context) error {
+			calls++
+			return Retryable(errors.New("busy"))
+		})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the op fail and the sleep start
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled Retry kept sleeping")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestDeadContextBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	// The op still runs once (it sees the dead ctx itself); the retry
+	// sleep is what ctx interrupts.
+	err := Retry(ctx, fast, func(c context.Context) error { return Retryable(c.Err()) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+}

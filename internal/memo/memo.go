@@ -39,7 +39,32 @@ const (
 	// Shared coalesced onto another caller's in-flight compute of the
 	// same key (the singleflight path: no duplicate execution).
 	Shared = "shared"
+	// TierHit served a second-level (tier) result: the singleflight
+	// leader's local miss was answered by the configured Tier instead
+	// of a compute. Followers of a tier-served flight still report
+	// Shared.
+	TierHit = "tier"
 )
+
+// Tier is a pluggable second-level cache consulted behind the miss
+// path. Lookup is invoked only by a singleflight leader whose local
+// lookup missed, so concurrent identical misses consult the tier at
+// most once; Store is invoked only after a successful local compute,
+// so a cancelled leader stores nothing anywhere. A Tier must be purely
+// best-effort: Lookup reports a miss (false) on any failure — network,
+// corruption, timeout — and Store silently drops undeliverable values.
+// The cache then degrades to a local compute; a tier can never turn a
+// computable request into an error. Values crossing the tier must obey
+// the same contract as local entries: pure functions of their key,
+// immutable to every reader.
+type Tier[K comparable, V any] interface {
+	// Lookup returns the tier's value for k, or false on miss or any
+	// failure. It must honour ctx (a dead ctx returns false promptly).
+	Lookup(ctx context.Context, k K) (V, bool)
+	// Store offers v to the tier, best-effort. It must not retain ctx
+	// expectations: it is called outside any request deadline.
+	Store(k K, v V)
+}
 
 // Cache is a bounded LRU with singleflight miss coalescing. The zero
 // value is not usable; construct with New.
@@ -50,7 +75,11 @@ type Cache[K comparable, V any] struct {
 	items   map[K]*list.Element
 	flights map[K]*flight[V]
 
-	hits, misses, shared atomic.Uint64
+	hits, misses, shared, tierHits atomic.Uint64
+
+	// tier, when set, is the second-level cache behind the miss path
+	// (fleet peers and/or disk). Nil means purely local behavior.
+	tier Tier[K, V]
 
 	// onFlight, when set (tests only), is called outside the lock
 	// after a GetOrCompute call either registers itself as the leader
@@ -88,6 +117,11 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 // must be set before the cache sees concurrent use.
 func (c *Cache[K, V]) SetOnFlight(hook func(k K, leader bool)) { c.onFlight = hook }
 
+// SetTier installs the second-level cache consulted on the leader's
+// miss path (nil disables it). Like SetOnFlight it must be set before
+// the cache sees concurrent use.
+func (c *Cache[K, V]) SetTier(t Tier[K, V]) { c.tier = t }
+
 // Get returns the cached value for k, updating recency and the hit
 // counter. A miss is not counted here: miss accounting belongs to
 // GetOrCompute, where a miss implies an execution.
@@ -117,7 +151,17 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 // compute fails reports its error only to itself and to the followers
 // whose own ctx is also dead; followers with a live ctx simply retry,
 // so one caller's cancellation never poisons another's request. The
-// returned disposition is one of Hit, Miss, Shared.
+// returned disposition is one of Hit, Miss, Shared, TierHit.
+//
+// When a Tier is installed, the leader consults it before computing:
+// a tier answer is stored locally and returned with the TierHit
+// disposition (no compute ran — misses still count executions
+// exactly), while a tier miss or failure falls through to the local
+// compute, whose successful result is offered back to the tier. The
+// tier sits strictly behind singleflight, so a thundering herd
+// performs at most one tier lookup, and strictly behind the
+// cancelled-leader rule, so a failed compute stores nothing locally
+// or remotely.
 func (c *Cache[K, V]) GetOrCompute(ctx context.Context, k K, compute func() (V, error)) (V, string, error) {
 	var zero V
 	for {
@@ -156,8 +200,22 @@ func (c *Cache[K, V]) GetOrCompute(ctx context.Context, k K, compute func() (V, 
 		if hook := c.onFlight; hook != nil {
 			hook(k, true)
 		}
-		c.misses.Add(1)
-		f.v, f.err = compute()
+		disp := Miss
+		if t := c.tier; t != nil {
+			if v, ok := t.Lookup(ctx, k); ok {
+				f.v, f.err = v, nil
+				disp = TierHit
+			}
+		}
+		if disp == Miss {
+			c.misses.Add(1)
+			f.v, f.err = compute()
+			if f.err == nil && c.tier != nil {
+				c.tier.Store(k, f.v)
+			}
+		} else {
+			c.tierHits.Add(1)
+		}
 		c.mu.Lock()
 		delete(c.flights, k)
 		if f.err == nil {
@@ -168,7 +226,7 @@ func (c *Cache[K, V]) GetOrCompute(ctx context.Context, k K, compute func() (V, 
 		if f.err != nil {
 			return zero, "", f.err
 		}
-		return f.v, Miss, nil
+		return f.v, disp, nil
 	}
 }
 
@@ -219,3 +277,7 @@ func (c *Cache[K, V]) Capacity() int { return c.cap }
 func (c *Cache[K, V]) Stats() (hits, misses, shared uint64) {
 	return c.hits.Load(), c.misses.Load(), c.shared.Load()
 }
+
+// TierHits returns the cumulative count of leader misses answered by
+// the installed Tier instead of a compute (always 0 without a tier).
+func (c *Cache[K, V]) TierHits() uint64 { return c.tierHits.Load() }

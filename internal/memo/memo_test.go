@@ -267,3 +267,196 @@ func TestConcurrentHammer(t *testing.T) {
 		t.Fatalf("counter sum %d != %d calls", hits+misses+shared, 8*200)
 	}
 }
+
+// fakeTier is an in-memory Tier recording its traffic.
+type fakeTier struct {
+	mu      sync.Mutex
+	vals    map[string]int
+	lookups []string
+	stores  []string
+	fail    bool // when set, every Lookup misses regardless of vals
+}
+
+func newFakeTier() *fakeTier { return &fakeTier{vals: map[string]int{}} }
+
+func (ft *fakeTier) Lookup(ctx context.Context, k string) (int, bool) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.lookups = append(ft.lookups, k)
+	if ft.fail {
+		return 0, false
+	}
+	v, ok := ft.vals[k]
+	return v, ok
+}
+
+func (ft *fakeTier) Store(k string, v int) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.stores = append(ft.stores, k)
+	ft.vals[k] = v
+}
+
+func (ft *fakeTier) snapshot() (lookups, stores int) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return len(ft.lookups), len(ft.stores)
+}
+
+func TestTierHitSkipsCompute(t *testing.T) {
+	c := New[string, int](4)
+	ft := newFakeTier()
+	ft.vals["k"] = 7
+	c.SetTier(ft)
+
+	calls := 0
+	v, disp := mustGet(t, c, "k", func() (int, error) { calls++; return -1, nil })
+	if v != 7 || disp != TierHit || calls != 0 {
+		t.Fatalf("tier-served call = (%d, %s, %d calls), want (7, tier, 0)", v, disp, calls)
+	}
+	if got := c.TierHits(); got != 1 {
+		t.Fatalf("TierHits = %d, want 1", got)
+	}
+	_, misses, _ := c.Stats()
+	if misses != 0 {
+		t.Fatalf("misses = %d, want 0 (no compute ran)", misses)
+	}
+	// The tier answer was stored locally: the next call is a plain hit.
+	if _, disp = mustGet(t, c, "k", func() (int, error) { calls++; return -1, nil }); disp != Hit {
+		t.Fatalf("second call disposition = %s, want hit", disp)
+	}
+	lookups, stores := ft.snapshot()
+	if lookups != 1 || stores != 0 {
+		t.Fatalf("tier traffic = (%d lookups, %d stores), want (1, 0)", lookups, stores)
+	}
+}
+
+func TestTierMissComputesAndStores(t *testing.T) {
+	c := New[string, int](4)
+	ft := newFakeTier()
+	c.SetTier(ft)
+
+	calls := 0
+	v, disp := mustGet(t, c, "k", func() (int, error) { calls++; return 42, nil })
+	if v != 42 || disp != Miss || calls != 1 {
+		t.Fatalf("tier-miss call = (%d, %s, %d calls), want (42, miss, 1)", v, disp, calls)
+	}
+	lookups, stores := ft.snapshot()
+	if lookups != 1 || stores != 1 {
+		t.Fatalf("tier traffic = (%d lookups, %d stores), want (1, 1)", lookups, stores)
+	}
+	if ft.vals["k"] != 42 {
+		t.Fatalf("tier holds %d, want the computed 42", ft.vals["k"])
+	}
+	if got := c.TierHits(); got != 0 {
+		t.Fatalf("TierHits = %d, want 0", got)
+	}
+}
+
+func TestTierFailureDegradesToCompute(t *testing.T) {
+	c := New[string, int](4)
+	ft := newFakeTier()
+	ft.fail = true
+	ft.vals["k"] = 7 // present but unreachable
+	c.SetTier(ft)
+
+	v, disp := mustGet(t, c, "k", func() (int, error) { return 42, nil })
+	if v != 42 || disp != Miss {
+		t.Fatalf("degraded call = (%d, %s), want (42, miss)", v, disp)
+	}
+}
+
+func TestCancelledLeaderStoresNothingToTier(t *testing.T) {
+	c := New[string, int](4)
+	ft := newFakeTier()
+	c.SetTier(ft)
+
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	_, _, err := c.GetOrCompute(ctx, "k", func() (int, error) { return 0, ctx.Err() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if _, stores := ft.snapshot(); stores != 0 {
+		t.Fatal("cancelled leader stored to the tier")
+	}
+	if c.Len() != 0 {
+		t.Fatal("cancelled leader stored locally")
+	}
+}
+
+// TestTierLookupOncePerFlight pins the singleflight property across the
+// tier: concurrent identical misses perform exactly one tier lookup,
+// and followers of a tier-served flight report Shared.
+func TestTierLookupOncePerFlight(t *testing.T) {
+	c := New[string, int](4)
+	ft := newFakeTier()
+	ft.vals["k"] = 7
+	c.SetTier(ft)
+
+	const followers = 4
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	c.SetOnFlight(func(k string, leader bool) {
+		if leader {
+			once.Do(func() { close(leaderIn) })
+			<-release
+		}
+	})
+	// fakeTier.Lookup runs after the hook releases; park the leader
+	// until every follower has joined the flight.
+	type out struct {
+		v    int
+		disp string
+	}
+	results := make(chan out, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, disp, err := c.GetOrCompute(bg, "k", func() (int, error) { return -1, nil })
+		if err != nil {
+			t.Error(err)
+		}
+		results <- out{v, disp}
+	}()
+	<-leaderIn
+	joined := make(chan struct{}, followers)
+	c.SetOnFlight(func(k string, leader bool) {
+		if !leader {
+			joined <- struct{}{}
+		}
+	})
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, disp, err := c.GetOrCompute(bg, "k", func() (int, error) { return -1, nil })
+			if err != nil {
+				t.Error(err)
+			}
+			results <- out{v, disp}
+		}()
+	}
+	for i := 0; i < followers; i++ {
+		<-joined
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	dispCount := map[string]int{}
+	for r := range results {
+		if r.v != 7 {
+			t.Fatalf("value = %d, want 7", r.v)
+		}
+		dispCount[r.disp]++
+	}
+	if dispCount[TierHit] != 1 || dispCount[Shared] != followers {
+		t.Fatalf("dispositions = %v, want 1 tier + %d shared", dispCount, followers)
+	}
+	if lookups, _ := ft.snapshot(); lookups != 1 {
+		t.Fatalf("tier lookups = %d, want exactly 1 for the whole herd", lookups)
+	}
+}

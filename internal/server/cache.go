@@ -30,6 +30,10 @@ const (
 	// CacheShared coalesced onto another request's in-flight compute of
 	// the same key (the singleflight path: no duplicate execution).
 	CacheShared = memo.Shared
+	// CacheTier served a fleet-tier result: the local cache missed but
+	// the compute leader found the value in the second-level cache (disk
+	// or a peer daemon) instead of running the partitioner.
+	CacheTier = memo.TierHit
 )
 
 // PartitionCache is a bounded LRU of partitioning results shared by
@@ -91,8 +95,19 @@ func (c *PartitionCache) Len() int { return c.inner.Len() }
 // Capacity returns the cache bound.
 func (c *PartitionCache) Capacity() int { return c.inner.Capacity() }
 
+// SetTier installs the second-level cache consulted by a compute
+// leader before running the partitioner (nil disables; set during
+// construction, before the cache serves requests).
+func (c *PartitionCache) SetTier(t memo.Tier[CacheKey, *partition.Assignment]) {
+	c.inner.SetTier(t)
+}
+
 // Stats returns the cumulative hit, miss, and shared (coalesced) counts.
 // Misses equal actual partitioner executions through GetOrCompute.
 func (c *PartitionCache) Stats() (hits, misses, shared uint64) {
 	return c.inner.Stats()
 }
+
+// TierHits returns the number of GetOrCompute calls answered by the
+// second-level tier instead of a partitioner execution.
+func (c *PartitionCache) TierHits() uint64 { return c.inner.TierHits() }

@@ -67,6 +67,7 @@ import (
 	"samr/internal/partition"
 	"samr/internal/pool"
 	"samr/internal/sim"
+	"samr/internal/tier"
 )
 
 // Config carries the server's tunables; zero values select defaults.
@@ -110,6 +111,20 @@ type Config struct {
 	// TenantBurst is each tenant's token-bucket burst capacity
 	// (default ceil(TenantRate)).
 	TenantBurst int
+	// TierDir roots the fleet tier's disk store. With both TierDir and
+	// TierPeers empty the tier is fully disabled: no tier routes are
+	// registered and every response is byte-identical to a tier-less
+	// server.
+	TierDir string
+	// TierMaxBytes bounds the tier disk store (<= 0 selects 256 MiB).
+	TierMaxBytes int64
+	// TierPeers lists every fleet member's base URL — the same list on
+	// every daemon; each key's home is chosen by rendezvous hashing
+	// over this set.
+	TierPeers []string
+	// TierSelf is this daemon's own base URL as it appears in
+	// TierPeers, so keys it owns are not fetched from itself over HTTP.
+	TierSelf string
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +187,8 @@ type Server struct {
 	mux      *http.ServeMux
 	admit    *admit.Controller // nil = admission disabled
 
+	tier *tier.Tier // nil = fleet tier disabled
+
 	inFlight     atomic.Int64
 	endpoints    map[string]*endpointStats
 	shuttingDown atomic.Bool
@@ -209,6 +226,11 @@ func New(cfg Config) (*Server, error) {
 		w.Write([]byte("ok\n")) //nolint:errcheck
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	if tierEnabled(cfg) {
+		if err := s.initTier(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -540,7 +562,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 			Fragments:   make([]Fragment, len(a.Fragments)),
 			Loads:       a.Loads(h),
 			Imbalance:   a.Imbalance(h),
-			Cached:      disp == CacheHit,
+			Cached:      disp == CacheHit || disp == CacheTier,
 			Cache:       disp,
 		}
 		for j, f := range a.Fragments {
@@ -562,7 +584,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		counts[res.Cache]++
 	}
 	disposition := "mixed"
-	for _, d := range []string{CacheHit, CacheMiss, CacheShared} {
+	for _, d := range []string{CacheHit, CacheMiss, CacheShared, CacheTier} {
 		if counts[d] == len(results) {
 			disposition = d
 		}
@@ -573,6 +595,9 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	hdr.Set("X-Samr-Cache-Hits", strconv.FormatUint(hits, 10))
 	hdr.Set("X-Samr-Cache-Misses", strconv.FormatUint(misses, 10))
 	hdr.Set("X-Samr-Cache-Shared", strconv.FormatUint(shared, 10))
+	if s.tier != nil {
+		hdr.Set("X-Samr-Cache-Tier", strconv.FormatUint(s.cache.TierHits(), 10))
+	}
 	if len(results) == 1 {
 		hdr.Set("X-Samr-Signature", results[0].Signature)
 	}
@@ -681,6 +706,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.admit != nil {
 		st := s.admit.Stats()
 		resp.Admission = &st
+	}
+	if s.tier != nil {
+		resp.Cache.Tier = s.cache.TierHits()
+		st := s.tier.Stats()
+		resp.Tier = &st
 	}
 	for name, es := range s.endpoints {
 		resp.Endpoints[name] = EndpointCounters{

@@ -9,6 +9,7 @@ import (
 	"samr/internal/grid"
 	"samr/internal/partition"
 	"samr/internal/sim"
+	"samr/internal/tier"
 )
 
 // Wire types: the JSON request/response surface of the samrd API. The
@@ -267,6 +268,11 @@ type CacheCounters struct {
 	Entries int    `json:"entries"`
 	// Capacity is the LRU bound.
 	Capacity int `json:"capacity"`
+	// Tier counts lookups answered by the second-level fleet tier
+	// instead of a partitioner execution; omitted (and always zero)
+	// while the tier is disabled, keeping the disabled-mode stats body
+	// identical to a tier-less build.
+	Tier uint64 `json:"tier,omitempty"`
 }
 
 // EndpointCounters is one endpoint's cumulative request accounting.
@@ -324,4 +330,9 @@ type StatsResponse struct {
 	// admission is disabled, keeping the disabled-mode stats reply
 	// identical to the pre-admission wire format.
 	Admission *admit.Stats `json:"admission,omitempty"`
+	// Tier is the fleet cache tier's accounting (disk store, peer
+	// protocol, circuit breaker); absent while the tier is disabled,
+	// keeping the disabled-mode stats reply identical to a tier-less
+	// build.
+	Tier *tier.Stats `json:"tier,omitempty"`
 }

@@ -1,0 +1,313 @@
+// Package tier is the fleet cache tier: a pluggable second-level cache
+// behind the in-process memoization substrate (internal/memo), letting
+// N samrd daemons act as one logical content-addressed cache. It has
+// three parts, each usable alone:
+//
+//   - DiskStore: content-addressed blobs as files under a bounded
+//     directory (atomic write-rename, LRU eviction by mtime), so a
+//     restarted daemon comes back warm.
+//   - Ring: a rendezvous-hash ring over a static peer set, assigning
+//     every key an owner daemon consistently across the fleet.
+//   - PeerClient: a retrying HTTP client for the GET/PUT /v1/tier/{key}
+//     peer protocol served by internal/server, honouring Retry-After
+//     and breaking the circuit on repeatedly failing peers.
+//
+// Tier composes them into the memo.Tier shape (Lookup consults disk
+// then the key's owner peer; Store writes disk and offers the blob to
+// the owner), and the codec gives partition assignments and simulator
+// step artifacts a versioned, checksummed binary encoding, so a
+// corrupt or truncated entry — disk bit-rot, a torn peer response —
+// degrades to a cache miss, never a wrong answer.
+//
+// The tier is an optimization layer by contract: every failure path
+// (peer down, circuit open, corrupt blob, disk error) reports a miss
+// and the caller recomputes locally. Values crossing the tier must be
+// pure functions of their key; the stateful (postmap) partitioners are
+// never tiered.
+package tier
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"samr/internal/geom"
+	"samr/internal/partition"
+	"samr/internal/sim"
+)
+
+// Blob kinds carried by the codec (one byte on the wire).
+const (
+	// KindAssignment is a partition.Assignment blob.
+	KindAssignment byte = 1
+	// KindStepArtifact is a simulator step artifact: an assignment
+	// plus its evaluated per-run-independent step metrics.
+	KindStepArtifact byte = 2
+)
+
+// codecVersion is bumped whenever the payload layout changes; a blob
+// from a different version decodes as corrupt (a miss), never as a
+// wrong value, so mixed-version fleets stay correct.
+const codecVersion byte = 1
+
+// magic brands every tier blob; len(header) = 4 magic + 1 version + 1 kind.
+var magic = [4]byte{'s', 'm', 't', 'r'}
+
+const headerLen = 6
+const checksumLen = sha256.Size
+
+// ErrCorrupt is returned by the decoders for any blob that is not a
+// byte-exact encoding: wrong magic/version/kind, failed checksum,
+// truncation, or trailing garbage. Callers treat it as a cache miss.
+var ErrCorrupt = fmt.Errorf("tier: corrupt blob")
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// seal prepends the header and appends the sha256 checksum over
+// header+payload.
+func seal(kind byte, payload []byte) []byte {
+	blob := make([]byte, 0, headerLen+len(payload)+checksumLen)
+	blob = append(blob, magic[:]...)
+	blob = append(blob, codecVersion, kind)
+	blob = append(blob, payload...)
+	sum := sha256.Sum256(blob)
+	return append(blob, sum[:]...)
+}
+
+// open verifies the envelope and returns the payload.
+func open(kind byte, blob []byte) ([]byte, error) {
+	payload, gotKind, err := Open(blob)
+	if err != nil {
+		return nil, err
+	}
+	if gotKind != kind {
+		return nil, corrupt("kind %d, want %d", gotKind, kind)
+	}
+	return payload, nil
+}
+
+// Open verifies a blob's envelope (magic, version, checksum) and
+// returns its payload and kind. The server's PUT handler uses it to
+// reject garbage before storing; the typed decoders build on it.
+func Open(blob []byte) (payload []byte, kind byte, err error) {
+	if len(blob) < headerLen+checksumLen {
+		return nil, 0, corrupt("%d bytes, below minimum %d", len(blob), headerLen+checksumLen)
+	}
+	if [4]byte(blob[:4]) != magic {
+		return nil, 0, corrupt("bad magic %q", blob[:4])
+	}
+	if blob[4] != codecVersion {
+		return nil, 0, corrupt("version %d, want %d", blob[4], codecVersion)
+	}
+	body, sum := blob[:len(blob)-checksumLen], blob[len(blob)-checksumLen:]
+	if sha256.Sum256(body) != [checksumLen]byte(sum) {
+		return nil, 0, corrupt("checksum mismatch")
+	}
+	return body[headerLen:], blob[5], nil
+}
+
+// appendAssignment appends the canonical payload encoding of a:
+// NumProcs, fragment count, then each fragment's level, owner, and box
+// (dim plus every MaxDim lo/hi component, so padding conventions
+// round-trip bit-exactly).
+func appendAssignment(buf []byte, a *partition.Assignment) []byte {
+	buf = binary.AppendUvarint(buf, uint64(a.NumProcs))
+	buf = binary.AppendUvarint(buf, uint64(len(a.Fragments)))
+	for _, f := range a.Fragments {
+		buf = binary.AppendUvarint(buf, uint64(f.Level))
+		buf = binary.AppendUvarint(buf, uint64(f.Owner))
+		buf = binary.AppendUvarint(buf, uint64(f.Box.Dim))
+		for d := 0; d < geom.MaxDim; d++ {
+			buf = binary.AppendVarint(buf, int64(f.Box.Lo[d]))
+		}
+		for d := 0; d < geom.MaxDim; d++ {
+			buf = binary.AppendVarint(buf, int64(f.Box.Hi[d]))
+		}
+	}
+	return buf
+}
+
+// reader is a strict little decoder over a payload: any short read
+// marks the payload corrupt.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = corrupt("bad uvarint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.err = corrupt("bad varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.err = corrupt("short float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf))
+	r.buf = r.buf[8:]
+	return v
+}
+
+// count validates a declared element count against the bytes actually
+// remaining (each element takes at least minBytes), bounding
+// allocations on crafted or damaged payloads.
+func (r *reader) count(n uint64, minBytes int) int {
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.buf)/minBytes) {
+		r.err = corrupt("count %d exceeds remaining payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) assignment() *partition.Assignment {
+	a := &partition.Assignment{NumProcs: int(r.uvarint())}
+	// A fragment is >= 3 + 2*MaxDim single-byte varints.
+	n := r.count(r.uvarint(), 3+2*geom.MaxDim)
+	if r.err != nil {
+		return nil
+	}
+	if n > 0 {
+		a.Fragments = make([]partition.Fragment, n)
+	}
+	for i := range a.Fragments {
+		f := &a.Fragments[i]
+		f.Level = int(r.uvarint())
+		f.Owner = int(r.uvarint())
+		f.Box.Dim = int(r.uvarint())
+		for d := 0; d < geom.MaxDim; d++ {
+			f.Box.Lo[d] = int(r.varint())
+		}
+		for d := 0; d < geom.MaxDim; d++ {
+			f.Box.Hi[d] = int(r.varint())
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return a
+}
+
+// done flags trailing garbage after a complete decode.
+func (r *reader) done() error {
+	if r.err == nil && len(r.buf) != 0 {
+		r.err = corrupt("%d trailing bytes", len(r.buf))
+	}
+	return r.err
+}
+
+// EncodeAssignment seals a into a versioned, checksummed blob.
+func EncodeAssignment(a *partition.Assignment) []byte {
+	return seal(KindAssignment, appendAssignment(nil, a))
+}
+
+// DecodeAssignment reverses EncodeAssignment. Any altered, truncated,
+// or mis-kinded blob returns an error wrapping ErrCorrupt.
+func DecodeAssignment(blob []byte) (*partition.Assignment, error) {
+	payload, err := open(KindAssignment, blob)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{buf: payload}
+	a := r.assignment()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// appendStepMetrics appends every StepMetrics field in declaration
+// order; floats are fixed 8-byte little-endian bit patterns so the
+// round trip is bit-exact (NaN payloads included).
+func appendStepMetrics(buf []byte, sm *sim.StepMetrics) []byte {
+	buf = binary.AppendVarint(buf, int64(sm.Step))
+	buf = binary.AppendUvarint(buf, uint64(len(sm.Loads)))
+	for _, l := range sm.Loads {
+		buf = binary.AppendVarint(buf, l)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(sm.Imbalance))
+	buf = binary.AppendVarint(buf, sm.IntraLevelComm)
+	buf = binary.AppendVarint(buf, sm.InterLevelComm)
+	buf = binary.AppendVarint(buf, sm.Messages)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(sm.RelativeComm))
+	buf = binary.AppendVarint(buf, sm.Migration)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(sm.RelativeMigration))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(sm.EstTime))
+	return buf
+}
+
+func (r *reader) stepMetrics() sim.StepMetrics {
+	var sm sim.StepMetrics
+	sm.Step = int(r.varint())
+	n := r.count(r.uvarint(), 1)
+	if n > 0 {
+		sm.Loads = make([]int64, n)
+	}
+	for i := range sm.Loads {
+		sm.Loads[i] = r.varint()
+	}
+	sm.Imbalance = r.float()
+	sm.IntraLevelComm = r.varint()
+	sm.InterLevelComm = r.varint()
+	sm.Messages = r.varint()
+	sm.RelativeComm = r.float()
+	sm.Migration = r.varint()
+	sm.RelativeMigration = r.float()
+	sm.EstTime = r.float()
+	return sm
+}
+
+// EncodeStepArtifact seals a simulator step artifact — the assignment
+// that partitioned a snapshot plus its evaluated metrics — into one
+// blob, keyed fleet-wide by the same content addresses the in-process
+// step cache uses.
+func EncodeStepArtifact(a *partition.Assignment, sm sim.StepMetrics) []byte {
+	payload := appendAssignment(nil, a)
+	payload = appendStepMetrics(payload, &sm)
+	return seal(KindStepArtifact, payload)
+}
+
+// DecodeStepArtifact reverses EncodeStepArtifact.
+func DecodeStepArtifact(blob []byte) (*partition.Assignment, sim.StepMetrics, error) {
+	payload, err := open(KindStepArtifact, blob)
+	if err != nil {
+		return nil, sim.StepMetrics{}, err
+	}
+	r := &reader{buf: payload}
+	a := r.assignment()
+	sm := r.stepMetrics()
+	if err := r.done(); err != nil {
+		return nil, sim.StepMetrics{}, err
+	}
+	return a, sm, nil
+}

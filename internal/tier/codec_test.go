@@ -1,0 +1,158 @@
+package tier
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"samr/internal/geom"
+	"samr/internal/partition"
+	"samr/internal/sim"
+)
+
+// randAssignment builds a structurally arbitrary assignment: the codec
+// must round-trip anything, not just valid decompositions.
+func randAssignment(rng *rand.Rand) *partition.Assignment {
+	a := &partition.Assignment{NumProcs: 1 + rng.IntN(64)}
+	n := rng.IntN(40)
+	for i := 0; i < n; i++ {
+		dim := 2 + rng.IntN(2)
+		b := geom.Box{Dim: dim}
+		for d := 0; d < geom.MaxDim; d++ {
+			// Unused axes carry the 0/1 padding convention sometimes,
+			// arbitrary values other times: both must survive.
+			b.Lo[d] = rng.IntN(2048) - 1024
+			b.Hi[d] = b.Lo[d] + rng.IntN(256)
+		}
+		a.Fragments = append(a.Fragments, partition.Fragment{
+			Level: rng.IntN(6),
+			Box:   b,
+			Owner: rng.IntN(a.NumProcs),
+		})
+	}
+	return a
+}
+
+func randStepMetrics(rng *rand.Rand) sim.StepMetrics {
+	sm := sim.StepMetrics{
+		Step:              rng.IntN(1000),
+		Imbalance:         rng.Float64() * 100,
+		IntraLevelComm:    rng.Int64N(1 << 40),
+		InterLevelComm:    rng.Int64N(1 << 40),
+		Messages:          rng.Int64N(1 << 30),
+		RelativeComm:      rng.Float64(),
+		Migration:         rng.Int64N(1 << 40),
+		RelativeMigration: rng.Float64(),
+		EstTime:           rng.Float64() * 10,
+	}
+	if n := rng.IntN(32); n > 0 {
+		sm.Loads = make([]int64, n)
+		for i := range sm.Loads {
+			sm.Loads[i] = rng.Int64N(1 << 50)
+		}
+	}
+	return sm
+}
+
+func TestAssignmentRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for i := 0; i < 200; i++ {
+		a := randAssignment(rng)
+		blob := EncodeAssignment(a)
+		got, err := DecodeAssignment(blob)
+		if err != nil {
+			t.Fatalf("iteration %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(a, got) {
+			t.Fatalf("iteration %d: round trip mismatch:\n in: %+v\nout: %+v", i, a, got)
+		}
+	}
+}
+
+func TestStepArtifactRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	for i := 0; i < 200; i++ {
+		a := randAssignment(rng)
+		sm := randStepMetrics(rng)
+		blob := EncodeStepArtifact(a, sm)
+		gotA, gotSM, err := DecodeStepArtifact(blob)
+		if err != nil {
+			t.Fatalf("iteration %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(a, gotA) || !reflect.DeepEqual(sm, gotSM) {
+			t.Fatalf("iteration %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestFloatBitPatternsRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), 1e-300} {
+		sm := sim.StepMetrics{EstTime: f}
+		_, got, err := DecodeStepArtifact(EncodeStepArtifact(&partition.Assignment{NumProcs: 1}, sm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.EstTime) != math.Float64bits(f) {
+			t.Fatalf("float %v: bits changed in round trip", f)
+		}
+	}
+}
+
+// TestEveryMutationDetected flips, truncates, and extends blobs: each
+// damaged form must fail to decode (the checksum catches single-byte
+// damage with certainty short of a sha256 collision).
+func TestEveryMutationDetected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 23))
+	a := randAssignment(rng)
+	blob := EncodeAssignment(a)
+
+	for i := range blob {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x41
+		if _, err := DecodeAssignment(mut); err == nil {
+			t.Fatalf("flipped byte %d decoded cleanly", i)
+		}
+	}
+	for cut := 1; cut <= len(blob); cut += 7 {
+		if _, err := DecodeAssignment(blob[:len(blob)-cut]); err == nil {
+			t.Fatalf("truncation by %d decoded cleanly", cut)
+		}
+	}
+	if _, err := DecodeAssignment(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("extended blob decoded cleanly")
+	}
+	if _, err := DecodeAssignment(nil); err == nil {
+		t.Fatal("nil blob decoded cleanly")
+	}
+	// Kind confusion: a step artifact is not an assignment.
+	art := EncodeStepArtifact(a, randStepMetrics(rng))
+	if _, err := DecodeAssignment(art); err == nil {
+		t.Fatal("step artifact decoded as assignment")
+	}
+}
+
+func TestOpenValidatesEnvelope(t *testing.T) {
+	blob := EncodeAssignment(&partition.Assignment{NumProcs: 4})
+	if _, kind, err := Open(blob); err != nil || kind != KindAssignment {
+		t.Fatalf("Open(valid) = kind %d, err %v", kind, err)
+	}
+	if _, _, err := Open([]byte("not a tier blob at all, definitely too short? no")); err == nil {
+		t.Fatal("Open accepted garbage")
+	}
+}
+
+func FuzzDecodeAssignment(f *testing.F) {
+	rng := rand.New(rand.NewPCG(29, 31))
+	f.Add([]byte{})
+	f.Add(EncodeAssignment(randAssignment(rng)))
+	f.Add(EncodeStepArtifact(randAssignment(rng), randStepMetrics(rng)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic or over-allocate; errors are expected.
+		a, err := DecodeAssignment(data)
+		if err == nil && a == nil {
+			t.Fatal("nil assignment with nil error")
+		}
+		DecodeStepArtifact(data) //nolint:errcheck
+	})
+}

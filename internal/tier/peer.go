@@ -1,0 +1,214 @@
+package tier
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"samr/internal/backoff"
+)
+
+// Peer protocol: GET /v1/tier/{key} answers 200 with the blob or 404
+// for a miss; PUT /v1/tier/{key} stores the body and answers 204.
+// Overloaded or draining peers answer 429/503 with Retry-After, which
+// the client honours through the shared backoff policy.
+
+// maxPeerBlobBytes bounds a peer response read: far above any real
+// assignment blob, far below a memory hazard.
+const maxPeerBlobBytes = 64 << 20
+
+// PeerClient fetches and offers tier blobs over HTTP, wrapping every
+// exchange in the repository's shared retry policy and a per-peer
+// circuit breaker: after FailLimit consecutive transport/5xx failures
+// a peer is skipped entirely for Cooldown, so a dead daemon costs each
+// request nothing instead of a connect timeout. Every failure mode
+// reports a miss — the tier contract — and 404 is a clean miss that
+// resets the breaker (the peer is healthy, it just lacks the key).
+type PeerClient struct {
+	hc        *http.Client
+	policy    backoff.Policy
+	failLimit int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+
+	gets, puts, misses, failures, skips atomic.Uint64
+}
+
+type breaker struct {
+	fails     int
+	openUntil time.Time
+}
+
+// PeerConfig tunes a PeerClient; zero values select defaults suited to
+// a same-datacenter fleet (tight timeout, few retries: a slow tier
+// lookup is worse than a local recompute).
+type PeerConfig struct {
+	// Client is the underlying HTTP client (default: 2s timeout).
+	Client *http.Client
+	// Retry shapes per-exchange retries (default: 2 attempts, 25ms base).
+	Retry backoff.Policy
+	// FailLimit opens a peer's breaker after this many consecutive
+	// failures (default 3).
+	FailLimit int
+	// Cooldown is how long an open breaker skips its peer before
+	// probing again (default 5s).
+	Cooldown time.Duration
+}
+
+// NewPeerClient builds a client from cfg.
+func NewPeerClient(cfg PeerConfig) *PeerClient {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if cfg.Retry.Attempts <= 0 {
+		cfg.Retry.Attempts = 2
+	}
+	if cfg.Retry.Base <= 0 {
+		cfg.Retry.Base = 25 * time.Millisecond
+	}
+	if cfg.FailLimit <= 0 {
+		cfg.FailLimit = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	return &PeerClient{
+		hc:        cfg.Client,
+		policy:    cfg.Retry,
+		failLimit: cfg.FailLimit,
+		cooldown:  cfg.Cooldown,
+		breakers:  make(map[string]*breaker),
+	}
+}
+
+// allowed reports whether peer's breaker admits a request now.
+func (c *PeerClient) allowed(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[peer]
+	if b == nil || b.fails < c.failLimit {
+		return true
+	}
+	if time.Now().After(b.openUntil) {
+		// Half-open: let one probe through; a failure re-opens below.
+		b.fails = c.failLimit - 1
+		return true
+	}
+	c.skips.Add(1)
+	return false
+}
+
+// report records an exchange outcome for peer's breaker.
+func (c *PeerClient) report(peer string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[peer]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[peer] = b
+	}
+	if ok {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= c.failLimit {
+		b.openUntil = time.Now().Add(c.cooldown)
+		c.failures.Add(1)
+	}
+}
+
+// retryAfter reads a response's Retry-After seconds (0 if absent).
+func retryAfter(r *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(r.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// Get fetches key from peer. ok is false for misses and every failure
+// alike; the tier degrades to a local compute either way.
+func (c *PeerClient) Get(ctx context.Context, peer, key string) ([]byte, bool) {
+	if !c.allowed(peer) {
+		return nil, false
+	}
+	c.gets.Add(1)
+	var blob []byte
+	err := backoff.Retry(ctx, c.policy, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/tier/"+key, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return backoff.Retryable(err)
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			blob, err = io.ReadAll(io.LimitReader(resp.Body, maxPeerBlobBytes))
+			return err
+		case resp.StatusCode == http.StatusNotFound:
+			return errMiss
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			return backoff.RetryableAfter(fmt.Errorf("tier: peer %s: %s", peer, resp.Status), retryAfter(resp))
+		default:
+			return fmt.Errorf("tier: peer %s: %s", peer, resp.Status)
+		}
+	})
+	switch err {
+	case nil:
+		c.report(peer, true)
+		return blob, true
+	case errMiss:
+		c.report(peer, true)
+		c.misses.Add(1)
+		return nil, false
+	default:
+		c.report(peer, false)
+		return nil, false
+	}
+}
+
+// errMiss is the internal clean-miss sentinel (peer healthy, key absent).
+var errMiss = fmt.Errorf("tier: peer miss")
+
+// Put offers key's blob to peer, best-effort: the return value is
+// informational and no failure propagates to the caller's request.
+func (c *PeerClient) Put(ctx context.Context, peer, key string, blob []byte) bool {
+	if !c.allowed(peer) {
+		return false
+	}
+	c.puts.Add(1)
+	err := backoff.Retry(ctx, c.policy, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+"/v1/tier/"+key, bytes.NewReader(blob))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return backoff.Retryable(err)
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			return backoff.RetryableAfter(fmt.Errorf("tier: peer %s: %s", peer, resp.Status), retryAfter(resp))
+		default:
+			return fmt.Errorf("tier: peer %s: %s", peer, resp.Status)
+		}
+	})
+	c.report(peer, err == nil)
+	return err == nil
+}

@@ -1,0 +1,247 @@
+package tier
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"samr/internal/backoff"
+	"samr/internal/partition"
+)
+
+var bg = context.Background()
+
+// fastPeer is a client whose retries and cooldowns keep tests quick.
+func fastPeer() *PeerClient {
+	return NewPeerClient(PeerConfig{
+		Client:    &http.Client{Timeout: time.Second},
+		Retry:     backoff.Policy{Attempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond},
+		FailLimit: 2,
+		Cooldown:  50 * time.Millisecond,
+	})
+}
+
+// tierHandler is a minimal in-memory peer-protocol server.
+func tierHandler(store map[string][]byte) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/tier/{key}", func(w http.ResponseWriter, r *http.Request) {
+		blob, ok := store[r.PathValue("key")]
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		w.Write(blob) //nolint:errcheck
+	})
+	mux.HandleFunc("PUT /v1/tier/{key}", func(w http.ResponseWriter, r *http.Request) {
+		blob, _ := io.ReadAll(r.Body)
+		store[r.PathValue("key")] = blob
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func TestPeerClientGetPut(t *testing.T) {
+	store := map[string][]byte{}
+	ts := httptest.NewServer(tierHandler(store))
+	defer ts.Close()
+	c := fastPeer()
+
+	key := Key("a")
+	if _, ok := c.Get(bg, ts.URL, key); ok {
+		t.Fatal("absent key reported present")
+	}
+	if !c.Put(bg, ts.URL, key, []byte("blob")) {
+		t.Fatal("Put failed against a healthy peer")
+	}
+	got, ok := c.Get(bg, ts.URL, key)
+	if !ok || !bytes.Equal(got, []byte("blob")) {
+		t.Fatalf("Get = (%q, %v)", got, ok)
+	}
+}
+
+func TestPeerClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("late blob")) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := fastPeer()
+
+	start := time.Now()
+	got, ok := c.Get(bg, ts.URL, Key("a"))
+	if !ok || string(got) != "late blob" {
+		t.Fatalf("Get = (%q, %v), want success on retry", got, ok)
+	}
+	if waited := time.Since(start); waited < time.Second {
+		t.Fatalf("waited %v, want >= the 1s Retry-After floor", waited)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+func TestPeerClientBreakerOpensAndRecovers(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if fail.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("recovered")) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := fastPeer() // FailLimit 2, Cooldown 50ms
+
+	// Two failing exchanges open the breaker (500 is terminal: one
+	// request each).
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(bg, ts.URL, Key("a")); ok {
+			t.Fatal("failing peer reported a hit")
+		}
+	}
+	seen := calls.Load()
+	// Open breaker: no request reaches the peer.
+	if _, ok := c.Get(bg, ts.URL, Key("a")); ok {
+		t.Fatal("open breaker reported a hit")
+	}
+	if calls.Load() != seen {
+		t.Fatal("open breaker let a request through")
+	}
+	if c.skips.Load() == 0 {
+		t.Fatal("breaker skip not counted")
+	}
+
+	// After cooldown a probe goes through and a healthy peer closes
+	// the breaker again.
+	fail.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	if got, ok := c.Get(bg, ts.URL, Key("a")); !ok || string(got) != "recovered" {
+		t.Fatalf("post-cooldown probe = (%q, %v)", got, ok)
+	}
+	if got, ok := c.Get(bg, ts.URL, Key("a")); !ok || string(got) != "recovered" {
+		t.Fatalf("closed breaker = (%q, %v)", got, ok)
+	}
+}
+
+func TestPeerClientDeadPeerIsMiss(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listens anymore
+	c := fastPeer()
+	if _, ok := c.Get(bg, ts.URL, Key("a")); ok {
+		t.Fatal("dead peer reported a hit")
+	}
+	if c.Put(bg, ts.URL, Key("a"), []byte("x")) {
+		t.Fatal("dead peer accepted a put")
+	}
+}
+
+// TestTierComposite drives the assembled tier: disk first, then the
+// key's owner peer, write-through on a peer hit, owner offer on store.
+func TestTierComposite(t *testing.T) {
+	ownerStore := map[string][]byte{}
+	owner := httptest.NewServer(tierHandler(ownerStore))
+	defer owner.Close()
+
+	tr, err := New(Config{
+		Dir:   t.TempDir(),
+		Peers: []string{owner.URL},
+		Peer:  PeerConfig{Retry: backoff.Policy{Attempts: 2, Base: time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := Key("x")
+	if _, ok := tr.Lookup(bg, key); ok {
+		t.Fatal("empty tier reported a hit")
+	}
+
+	// Store: lands on disk and is offered to the owner peer.
+	tr.Store(key, smallBlob())
+	if _, ok := tr.Disk().Get(key); !ok {
+		t.Fatal("store skipped the disk level")
+	}
+	if _, ok := ownerStore[key]; !ok {
+		t.Fatal("store never offered the blob to the key's owner")
+	}
+
+	// A peer-only key: lookup falls through disk to the owner and
+	// writes through.
+	key2 := Key("y")
+	ownerStore[key2] = smallBlob()
+	blob, ok := tr.Lookup(bg, key2)
+	if !ok || !bytes.Equal(blob, ownerStore[key2]) {
+		t.Fatal("peer-level lookup failed")
+	}
+	if _, ok := tr.Disk().Get(key2); !ok {
+		t.Fatal("peer hit was not written through to disk")
+	}
+	st := tr.Stats()
+	if st.DiskHits != 0 || st.PeerHits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// ReportCorrupt drops the local entry.
+	tr.ReportCorrupt(key)
+	if _, ok := tr.Disk().Get(key); ok {
+		t.Fatal("corrupt entry survived ReportCorrupt")
+	}
+}
+
+func TestTierSelfOwnedKeySkipsHTTP(t *testing.T) {
+	var calls atomic.Int32
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "not found", http.StatusNotFound)
+	}))
+	defer other.Close()
+
+	self := "http://self.invalid:1"
+	tr, err := New(Config{Dir: t.TempDir(), Self: self, Peers: []string{self, other.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find keys for both ownership cases.
+	var selfKey, otherKey string
+	for i := 0; selfKey == "" || otherKey == ""; i++ {
+		key := Key("probe", string(rune(i)))
+		if tr.Ring().Owner(key) == self {
+			selfKey = key
+		} else {
+			otherKey = key
+		}
+	}
+	// Self-owned: both lookup and store stay local — the other peer
+	// sees no traffic.
+	tr.Store(selfKey, smallBlob())
+	if _, ok := tr.Lookup(bg, selfKey); !ok {
+		t.Fatal("self-owned key not served from disk")
+	}
+	if calls.Load() != 0 {
+		t.Fatal("self-owned key generated peer traffic")
+	}
+	// Other-owned: lookup consults the peer.
+	tr.Lookup(bg, otherKey)
+	if calls.Load() == 0 {
+		t.Fatal("other-owned key never consulted its owner")
+	}
+}
+
+// smallBlob is a valid sealed blob for tests that only need envelope
+// validity, not interesting contents.
+func smallBlob() []byte {
+	return EncodeAssignment(&partition.Assignment{NumProcs: 4})
+}

@@ -1,0 +1,79 @@
+package tier
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"samr/internal/geom"
+	"samr/internal/grid"
+	"samr/internal/partition"
+)
+
+// benchHierarchy builds a paper-shaped two-level hierarchy large enough
+// that partitioning it does real work.
+func benchHierarchy() *grid.Hierarchy {
+	dom := geom.NewBox2(0, 0, 64, 64)
+	h := grid.NewHierarchy(dom, 2)
+	var fine geom.BoxList
+	for i := 0; i < 8; i++ {
+		x := 16 * (i % 4)
+		y := 64 * (i / 4)
+		fine = append(fine, geom.NewBox2(x, y+8, x+12, y+56))
+	}
+	h.Levels = append(h.Levels, grid.Level{Boxes: fine})
+	return h
+}
+
+// BenchmarkTierHitVsCompute compares the two ways a singleflight leader
+// can resolve a local cache miss: decoding a tier blob (disk read +
+// checksum + decode) versus running the partitioner. The gap is the
+// budget the fleet tier has for network hops before it stops paying.
+func BenchmarkTierHitVsCompute(b *testing.B) {
+	h := benchHierarchy()
+	p := partition.NewDomainSFC()
+	ctx := context.Background()
+	const nprocs = 16
+
+	a, err := p.Partition(ctx, h, nprocs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob := EncodeAssignment(a)
+	store, err := OpenDiskStore(b.TempDir(), 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := Key(h.Signature().String(), p.Name(), fmt.Sprint(nprocs))
+	if err := store.Put(key, blob); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("tier-hit", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			raw, ok := store.Get(key)
+			if !ok {
+				b.Fatal("tier entry vanished")
+			}
+			got, err := DecodeAssignment(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got.Fragments) != len(a.Fragments) {
+				b.Fatal("decoded assignment lost fragments")
+			}
+		}
+	})
+	b.Run("compute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			got, err := p.Partition(ctx, h, nprocs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got.Fragments) == 0 {
+				b.Fatal("empty assignment")
+			}
+		}
+	})
+}

@@ -4,7 +4,7 @@
 # across PRs.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          (default BENCH_PR6.json)
+#   scripts/bench.sh [output.json]          (default BENCH_PR7.json)
 #   BENCHTIME=5x scripts/bench.sh           (more iterations per benchmark)
 #   BENCH_FILTER='TraceGeneration' scripts/bench.sh
 #
@@ -14,14 +14,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR6.json}
+out=${1:-BENCH_PR7.json}
 benchtime=${BENCHTIME:-3x}
-filter=${BENCH_FILTER:-'BenchmarkTraceGeneration|BenchmarkSimulateTraceParallel|BenchmarkFig|BenchmarkClassificationTrajectory|BenchmarkAblation|BenchmarkMetaPartitionerVsStatic|BenchmarkBoxIndexQuery'}
+filter=${BENCH_FILTER:-'BenchmarkTraceGeneration|BenchmarkSimulateTraceParallel|BenchmarkFig|BenchmarkClassificationTrajectory|BenchmarkAblation|BenchmarkMetaPartitionerVsStatic|BenchmarkBoxIndexQuery|BenchmarkTierHitVsCompute'}
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run='^$' -bench "$filter" -benchtime "$benchtime" . | tee "$tmp"
+go test -run='^$' -bench "$filter" -benchtime "$benchtime" . ./internal/tier/ | tee "$tmp"
 
 awk '
 /^Benchmark/ && / ns\/op/ {
