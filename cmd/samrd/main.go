@@ -111,6 +111,54 @@
 // With -max-inflight 0 (the default) admission is fully disabled and
 // responses are identical to a build without it.
 //
+// # Streaming sessions
+//
+// A running SAMR application produces a sequence of regrid states in
+// which most levels survive from step to step. Instead of re-posting
+// the full hierarchy to /v1/partition every regrid, open a session —
+// one full upload, with the partitioner and processor count fixed for
+// its lifetime:
+//
+//	curl -i -d '{"hierarchy": {...}, "partitioner": "domain", "nprocs": 16}' \
+//	     localhost:8347/v1/session
+//
+// The response carries the session token (body "session" and the
+// X-Samr-Session header), the base state's content signature, and
+// per-level sub-digests. Then advance the state with per-level deltas:
+// each step lists one op per level of the NEW state — "keep" (level
+// survives unchanged) or "replace" (full new patch set for that
+// level) — so a longer list appends levels and a shorter one drops
+// them, and the request costs O(changed boxes), not O(hierarchy):
+//
+//	curl -i -d '{"levels": [{"op": "keep"},
+//	                        {"op": "replace", "boxes": [{"dim": 2, "lo": [10,8], "hi": [42,32]}]}]}' \
+//	     localhost:8347/v1/session/<token>/step
+//
+// The step response is byte-identical to the equivalent full
+// /v1/partition post of the reconstructed hierarchy — same results,
+// same cache dispositions and headers — and the state is answered
+// through the same cache, singleflight, and fleet-tier stack. An
+// optional "base" field pins the step to the signature it was computed
+// against; a mismatch (e.g. a retried step that already applied)
+// answers 409 with code "session-base-mismatch". A failed or cancelled
+// step leaves the session state untouched, so the client retries the
+// same delta.
+//
+// Stateful postmap(...) specs compose with sessions: the session keeps
+// one long-lived partitioner instance server-side, so the carried
+// previous-assignment state advances with the session (one-shot
+// /v1/partition posts cannot do this — they build a fresh instance per
+// request). Stateful results bypass the cache and tier, as always.
+//
+// Sessions are soft state: -max-sessions bounds the table (LRU
+// eviction past it) and -session-ttl expires idle sessions. A step or
+// delete on an expired, evicted, or unknown session answers 410 Gone
+// with code "session-expired"; the client re-creates the session from
+// its current full state and loses nothing but one upload. DELETE
+// /v1/session/<token> closes a session early (204). Session counters
+// appear under "sessions" in /v1/stats once the first session request
+// arrives.
+//
 // # Running a fleet
 //
 // Several samrd daemons can share their partition caches through the
@@ -177,6 +225,8 @@ func main() {
 		tierPeers   = flag.String("tier-peers", "", "comma-separated base URLs of every fleet member, identical across the fleet")
 		tierSelf    = flag.String("tier-self", "", "this daemon's own base URL as listed in -tier-peers")
 		tierMax     = flag.Int64("tier-max-bytes", 256<<20, "fleet tier disk store size bound in bytes")
+		maxSessions = flag.Int("max-sessions", 256, "streaming session table capacity (LRU eviction past it)")
+		sessionTTL  = flag.Duration("session-ttl", 15*time.Minute, "idle expiry for streaming sessions")
 	)
 	flag.Parse()
 
@@ -202,6 +252,8 @@ func main() {
 		TierMaxBytes:   *tierMax,
 		TierPeers:      peers,
 		TierSelf:       *tierSelf,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "samrd:", err)

@@ -36,6 +36,18 @@
 // Retry-After, caps its attempts, and aborts as soon as its context
 // does.
 //
+// # Streaming sessions
+//
+// The session section replays the same regrid trajectory through
+// POST /v1/session + per-level delta steps instead of repeated full
+// posts: the hierarchy is uploaded once, each step sends keep/replace
+// ops per level (O(changed boxes) on the wire), and every step body is
+// byte-identical to the equivalent full /v1/partition response. The
+// sessionClient shows the recovery contract: sessions are soft state,
+// and a step answered 410 with code "session-expired" (idle past the
+// TTL or LRU-evicted) makes the client re-create the session from its
+// current full state and retry.
+//
 // # Fleet tier
 //
 // The fleet section stands up two daemons that share their partition
@@ -54,6 +66,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"strconv"
 	"time"
 
@@ -170,10 +183,191 @@ func run() error {
 	json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
 	fmt.Printf("\nexpired deadline: HTTP %d, error=%q\n", resp.StatusCode, e.Error)
 
+	if err := sessionDemo(wire); err != nil {
+		return err
+	}
 	if err := fleetDemo(wire); err != nil {
 		return err
 	}
 	return overloadDemo(wire)
+}
+
+// sessionDemo streams the regrid trajectory through one session: a
+// full upload once, then per-level deltas (keep/replace) whose wire
+// cost is proportional to what changed. The sessionClient below is the
+// well-behaved recovery pattern: a 410 with code "session-expired"
+// (idle past -session-ttl, or LRU-evicted past -max-sessions) makes it
+// re-create the session from its current full state and retry — the
+// client loses nothing but one upload.
+func sessionDemo(wire []server.Hierarchy) error {
+	const ttl = 250 * time.Millisecond
+	s, err := server.New(server.Config{DefaultProcs: 8, SessionTTL: ttl})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	fmt.Println("\nstreaming session over the regrid trajectory:")
+	sc := &sessionClient{base: ts.URL, spec: "domain-hilbert-u2", nprocs: 8}
+	var deltaBytes, fullBytes int
+	for i := 1; i < len(wire); i++ {
+		if i == len(wire)-1 {
+			// Let the session idle past its TTL: the next step answers
+			// 410 session-expired and the client transparently recovers.
+			time.Sleep(ttl + 100*time.Millisecond)
+		}
+		res, sent, err := sc.step(wire[i])
+		if err != nil {
+			return err
+		}
+		full, _ := json.Marshal(server.PartitionRequest{Hierarchy: &wire[i], Partitioner: sc.spec, NProcs: sc.nprocs})
+		deltaBytes += sent
+		fullBytes += len(full)
+		fmt.Printf("  step %d: cache=%-4s sig=%.12s sent %dB (full post %dB)\n",
+			i, res.Cache, res.Signature, sent, len(full))
+	}
+	fmt.Printf("  trajectory total: %dB streamed vs %dB re-posted (%.1fx smaller), %d session(s) created\n",
+		deltaBytes, fullBytes, float64(fullBytes)/float64(deltaBytes), sc.creates)
+	return sc.close()
+}
+
+// sessionClient drives /v1/session: it mirrors the session's state so
+// it can diff consecutive hierarchies into keep/replace deltas, and
+// re-creates the session whenever the server answers the documented
+// 410 session-expired error.
+type sessionClient struct {
+	base, spec string
+	nprocs     int
+	token      string
+	state      *server.Hierarchy // what the session currently holds
+	creates    int
+}
+
+// step advances the session to next and returns its partition result
+// plus the request bytes spent (delta only, or full re-upload + keep
+// step after an expiry). The delta keeps every level whose box list
+// is unchanged from the mirrored state.
+func (c *sessionClient) step(next server.Hierarchy) (*server.PartitionResult, int, error) {
+	for attempt := 0; ; attempt++ {
+		if c.token == "" {
+			n, err := c.create(next)
+			if err != nil {
+				return nil, 0, err
+			}
+			// The freshly created session already holds next; partition
+			// it with a pure-keep step.
+			res, sent, expired, err := c.post(pureKeep(next))
+			if err != nil || !expired {
+				return res, n + sent, err
+			}
+			continue
+		}
+		res, sent, expired, err := c.post(diffStep(*c.state, next))
+		if err != nil {
+			return nil, 0, err
+		}
+		if !expired {
+			c.state = &next
+			return res, sent, nil
+		}
+		if attempt > 1 {
+			return nil, 0, fmt.Errorf("session expired twice in a row")
+		}
+		fmt.Printf("  step: session %.8s gone (410 %s) -> re-creating from full state\n",
+			c.token, server.CodeSessionExpired)
+		c.token = ""
+	}
+}
+
+// create opens a session holding h, returning the upload size.
+func (c *sessionClient) create(h server.Hierarchy) (int, error) {
+	body, err := json.Marshal(server.SessionCreateRequest{Hierarchy: &h, Partitioner: c.spec, NProcs: c.nprocs})
+	if err != nil {
+		return 0, err
+	}
+	r, err := http.Post(c.base+"/v1/session", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e server.ErrorResponse
+		json.NewDecoder(r.Body).Decode(&e) //nolint:errcheck
+		return 0, fmt.Errorf("session create: %s (%s)", r.Status, e.Error)
+	}
+	var create server.SessionCreateResponse
+	if err := json.NewDecoder(r.Body).Decode(&create); err != nil {
+		return 0, err
+	}
+	c.token, c.state, c.creates = create.Session, &h, c.creates+1
+	return len(body), nil
+}
+
+// post sends one step, reporting (result, bytes sent, expired).
+func (c *sessionClient) post(step server.SessionStepRequest) (*server.PartitionResult, int, bool, error) {
+	body, err := json.Marshal(step)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	r, err := http.Post(c.base+"/v1/session/"+c.token+"/step", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e server.ErrorResponse
+		json.NewDecoder(r.Body).Decode(&e) //nolint:errcheck
+		if r.StatusCode == http.StatusGone && e.Code == server.CodeSessionExpired {
+			return nil, len(body), true, nil
+		}
+		return nil, 0, false, fmt.Errorf("session step: %s (%s)", r.Status, e.Error)
+	}
+	var resp server.PartitionResponse
+	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+		return nil, 0, false, err
+	}
+	return &resp.Results[0], len(body), false, nil
+}
+
+func (c *sessionClient) close() error {
+	if c.token == "" {
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/session/"+c.token, nil)
+	if err != nil {
+		return err
+	}
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	r.Body.Close()
+	return nil
+}
+
+// diffStep builds the delta from prev to next: keep every level whose
+// box list is byte-identical, replace the rest, with the step length
+// setting the new level count.
+func diffStep(prev, next server.Hierarchy) server.SessionStepRequest {
+	step := server.SessionStepRequest{Levels: make([]server.LevelOp, len(next.Levels))}
+	for l, boxes := range next.Levels {
+		if l < len(prev.Levels) && reflect.DeepEqual(prev.Levels[l], boxes) {
+			step.Levels[l] = server.LevelOp{Op: server.LevelKeep}
+		} else {
+			step.Levels[l] = server.LevelOp{Op: server.LevelReplace, Boxes: boxes}
+		}
+	}
+	return step
+}
+
+// pureKeep is the no-op step partitioning a session's current state.
+func pureKeep(h server.Hierarchy) server.SessionStepRequest {
+	step := server.SessionStepRequest{Levels: make([]server.LevelOp, len(h.Levels))}
+	for l := range step.Levels {
+		step.Levels[l] = server.LevelOp{Op: server.LevelKeep}
+	}
+	return step
 }
 
 // fleetDemo runs a two-daemon fleet sharing one logical partition

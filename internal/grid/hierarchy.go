@@ -7,7 +7,6 @@ package grid
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 
 	"samr/internal/geom"
@@ -39,6 +38,11 @@ type Hierarchy struct {
 	RefRatio int
 	// Levels[0] is the base level; Levels[l] for l > 0 are refinements.
 	Levels []Level
+
+	// sig is the incremental signature cache of a tracked hierarchy
+	// (see delta.go); nil for the common untracked case. Tracked
+	// hierarchies must be mutated only through ApplyDelta/WithDelta.
+	sig *sigCache
 }
 
 // NewHierarchy returns a hierarchy whose base level covers domain.
@@ -120,14 +124,12 @@ func (h *Hierarchy) RefinedFootprint() geom.BoxList {
 
 // AppendEncoding appends the canonical encoding of the hierarchy —
 // domain, refinement ratio, and every level's box list in order — to
-// buf and returns the extended slice.
+// buf and returns the extended slice. The header and per-level
+// segments are exactly what the incremental signature cache (delta.go)
+// maintains piecewise, so a tracked signature is always the hash of
+// these bytes.
 func (h *Hierarchy) AppendEncoding(buf []byte) []byte {
-	buf = geom.BoxList{h.Domain}.AppendEncoding(buf)
-	var w [8]byte
-	binary.LittleEndian.PutUint64(w[:], uint64(int64(h.RefRatio)))
-	buf = append(buf, w[:]...)
-	binary.LittleEndian.PutUint64(w[:], uint64(len(h.Levels)))
-	buf = append(buf, w[:]...)
+	buf = h.appendHeader(buf)
 	for _, l := range h.Levels {
 		buf = l.Boxes.AppendEncoding(buf)
 	}
@@ -138,7 +140,10 @@ func (h *Hierarchy) AppendEncoding(buf []byte) []byte {
 // canonical encoding. Equal signatures mean structurally identical
 // hierarchies, which is what makes the hash usable as a content-
 // addressed cache key — a partitioner's output is a pure function of
-// (hierarchy structure, configuration, nprocs).
+// (hierarchy structure, configuration, nprocs). A tracked hierarchy
+// (TrackSignature/ApplyDelta, see delta.go) answers from its
+// incrementally maintained cache — the same value, without re-encoding
+// or re-hashing anything.
 func (h *Hierarchy) Signature() geom.Signature {
 	sig, _ := h.SignatureWith(nil)
 	return sig
@@ -150,11 +155,17 @@ func (h *Hierarchy) Signature() geom.Signature {
 // grown buffer back for the next call, hashing without per-call
 // allocation.
 func (h *Hierarchy) SignatureWith(buf []byte) (geom.Signature, []byte) {
+	if h.sig != nil {
+		return h.sig.top, buf
+	}
 	buf = h.AppendEncoding(buf)
 	return geom.Signature(sha256.Sum256(buf)), buf
 }
 
-// Clone returns a deep copy of the hierarchy.
+// Clone returns a deep copy of the hierarchy. The incremental
+// signature cache of a tracked hierarchy is deliberately not carried
+// over: clones are routinely mutated directly (the cache would go
+// stale), and a clone that needs tracking calls TrackSignature itself.
 func (h *Hierarchy) Clone() *Hierarchy {
 	out := &Hierarchy{Domain: h.Domain, RefRatio: h.RefRatio}
 	out.Levels = make([]Level, len(h.Levels))

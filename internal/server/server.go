@@ -8,6 +8,9 @@
 //	POST /v1/select     classify hierarchies, return the meta-partitioner choice
 //	POST /v1/partition  run a named partitioner at a processor count
 //	POST /v1/simulate   trace-driven evaluation over a registered trace
+//	POST /v1/session    open a streaming session (full hierarchy upload)
+//	POST /v1/session/{id}/step  advance a session by a per-level delta, partition the result
+//	DELETE /v1/session/{id}     close a session
 //	GET  /v1/traces     list the trace registry
 //	GET  /v1/stats      cache counters, in-flight requests, per-endpoint totals
 //	GET  /healthz       liveness
@@ -58,11 +61,13 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"samr/internal/admit"
 	"samr/internal/core"
+	"samr/internal/geom"
 	"samr/internal/grid"
 	"samr/internal/partition"
 	"samr/internal/pool"
@@ -125,6 +130,12 @@ type Config struct {
 	// TierSelf is this daemon's own base URL as it appears in
 	// TierPeers, so keys it owns are not fetched from itself over HTTP.
 	TierSelf string
+	// MaxSessions bounds the streaming-session table (default 256);
+	// past it the least recently used session is evicted and its next
+	// step answers 410 session-expired.
+	MaxSessions int
+	// SessionTTL expires sessions idle longer than this (default 15m).
+	SessionTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +159,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInFlight > 0 && c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.MaxInFlight
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
 	}
 	return c
 }
@@ -189,6 +206,8 @@ type Server struct {
 
 	tier *tier.Tier // nil = fleet tier disabled
 
+	sessions *sessionTable
+
 	inFlight     atomic.Int64
 	endpoints    map[string]*endpointStats
 	shuttingDown atomic.Bool
@@ -203,6 +222,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		cache:     NewPartitionCache(cfg.CacheSize),
 		registry:  NewTraceRegistry(cfg.TraceDir),
+		sessions:  newSessionTable(cfg.MaxSessions, cfg.SessionTTL),
 		endpoints: make(map[string]*endpointStats),
 	}
 	if cfg.MaxInFlight > 0 {
@@ -220,6 +240,14 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/select", s.instrument("select", admit.Interactive, s.handleSelect))
 	s.mux.HandleFunc("POST /v1/partition", s.instrument("partition", admit.Interactive, s.handlePartition))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", admit.Batch, s.handleSimulate))
+	// Session endpoints run behind the same middleware chain as the
+	// one-shot compute endpoints (body limit -> admission -> deadline,
+	// Interactive class), but account into the session table rather
+	// than the per-endpoint map, so an unused session layer leaves
+	// /v1/stats byte-identical to a sessionless build.
+	s.mux.HandleFunc("POST /v1/session", s.instrumented(&s.sessions.http, admit.Interactive, s.handleSessionCreate))
+	s.mux.HandleFunc("POST /v1/session/{id}/step", s.instrumented(&s.sessions.http, admit.Interactive, s.handleSessionStep))
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.instrumented(&s.sessions.http, admit.Interactive, s.handleSessionDelete))
 	s.mux.HandleFunc("GET /v1/traces", s.observe("traces", s.handleTraces))
 	s.mux.HandleFunc("GET /v1/stats", s.observe("stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -275,6 +303,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) instrument(name string, pri admit.Priority, h http.HandlerFunc) http.HandlerFunc {
 	es := &endpointStats{}
 	s.endpoints[name] = es
+	return s.instrumented(es, pri, h)
+}
+
+// instrumented is instrument with caller-owned counters: the session
+// endpoints account into the session table instead of the stats
+// endpoint map, everything else is identical.
+func (s *Server) instrumented(es *endpointStats, pri admit.Priority, h http.HandlerFunc) http.HandlerFunc {
 	class := pool.Interactive
 	if pri == admit.Batch {
 		class = pool.Batch
@@ -399,6 +434,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeErrCode is writeErr with a machine-readable error code clients
+// branch on (the session layer's expiry/drift contract).
+func writeErrCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // writeFailure maps an execution error onto the wire: an exceeded
@@ -543,7 +584,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	results := make([]PartitionResult, len(hs))
 	err = pool.MapCtx(ctx, pool.Workers(), len(hs), func(i int) error {
 		h := hs[i]
-		key := CacheKey{Sig: h.Signature(), Partitioner: name, NProcs: req.NProcs}
+		key := CacheKey{Sig: hierarchySignature(h), Partitioner: name, NProcs: req.NProcs}
 		a, disp, err := s.cache.GetOrCompute(ctx, key, func() (*partition.Assignment, error) {
 			// A fresh instance per unit keeps stateful wrappers
 			// (postmap) from sharing state across goroutines and keeps
@@ -555,20 +596,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
-		res := PartitionResult{
-			Signature:   key.Sig.String(),
-			Partitioner: name,
-			NProcs:      req.NProcs,
-			Fragments:   make([]Fragment, len(a.Fragments)),
-			Loads:       a.Loads(h),
-			Imbalance:   a.Imbalance(h),
-			Cached:      disp == CacheHit || disp == CacheTier,
-			Cache:       disp,
-		}
-		for j, f := range a.Fragments {
-			res.Fragments[j] = Fragment{Level: f.Level, Box: fromGeomBox(f.Box), Owner: f.Owner}
-		}
-		results[i] = res
+		results[i] = buildPartitionResult(h, key.Sig, name, req.NProcs, a, disp)
 		return nil
 	})
 	if err != nil {
@@ -576,9 +604,51 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Cache headers: the per-request disposition plus the cumulative
-	// process-wide counters, so operators (and the acceptance test) can
-	// watch hit and coalescing rates without polling /v1/stats.
+	s.writeCacheHeaders(w, results)
+	writeJSON(w, http.StatusOK, PartitionResponse{Results: results})
+}
+
+// sigScratch recycles the encoding buffers behind hierarchySignature:
+// hashing a deep hierarchy encodes a few hundred KB, and the request
+// path signs every submitted hierarchy, so the scratch is pooled
+// instead of allocated per request.
+var sigScratch = sync.Pool{New: func() any { b := make([]byte, 0, 1<<12); return &b }}
+
+// hierarchySignature is h.Signature() with pooled encoding scratch.
+func hierarchySignature(h *grid.Hierarchy) geom.Signature {
+	bp := sigScratch.Get().(*[]byte)
+	sig, buf := h.SignatureWith((*bp)[:0])
+	*bp = buf
+	sigScratch.Put(bp)
+	return sig
+}
+
+// buildPartitionResult renders one assignment as its wire result. Both
+// the one-shot partition path and the session step path go through it,
+// which is what makes a step response byte-identical to the equivalent
+// full post.
+func buildPartitionResult(h *grid.Hierarchy, sig geom.Signature, name string, nprocs int, a *partition.Assignment, disp string) PartitionResult {
+	res := PartitionResult{
+		Signature:   sig.String(),
+		Partitioner: name,
+		NProcs:      nprocs,
+		Fragments:   make([]Fragment, len(a.Fragments)),
+		Loads:       a.Loads(h),
+		Imbalance:   a.Imbalance(h),
+		Cached:      disp == CacheHit || disp == CacheTier,
+		Cache:       disp,
+	}
+	for j, f := range a.Fragments {
+		res.Fragments[j] = Fragment{Level: f.Level, Box: fromGeomBox(f.Box), Owner: f.Owner}
+	}
+	return res
+}
+
+// writeCacheHeaders emits the cache headers of a partition-shaped
+// response: the per-request disposition plus the cumulative
+// process-wide counters, so operators (and the acceptance test) can
+// watch hit and coalescing rates without polling /v1/stats.
+func (s *Server) writeCacheHeaders(w http.ResponseWriter, results []PartitionResult) {
 	counts := map[string]int{}
 	for _, res := range results {
 		counts[res.Cache]++
@@ -601,7 +671,6 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	if len(results) == 1 {
 		hdr.Set("X-Samr-Signature", results[0].Signature)
 	}
-	writeJSON(w, http.StatusOK, PartitionResponse{Results: results})
 }
 
 // handleSimulate replays a registered trace through the simulator
@@ -711,6 +780,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Cache.Tier = s.cache.TierHits()
 		st := s.tier.Stats()
 		resp.Tier = &st
+	}
+	if st := s.sessions.stats(); st != nil {
+		resp.Sessions = st
 	}
 	for name, es := range s.endpoints {
 		resp.Endpoints[name] = EndpointCounters{

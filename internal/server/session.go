@@ -1,0 +1,396 @@
+package server
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"samr/internal/geom"
+	"samr/internal/grid"
+	"samr/internal/partition"
+)
+
+// The session layer: a delta-encoded streaming surface over the same
+// partitioning stack the one-shot endpoints use. A real AMR client
+// produces a *sequence* of regrid states in which most levels survive
+// from step to step, yet every /v1/partition request re-uploads,
+// re-validates, and re-hashes the full hierarchy. A session uploads the
+// hierarchy once (POST /v1/session), then advances it with per-level
+// deltas (POST /v1/session/{id}/step: "keep" or "replace" per level),
+// so the per-step cost — bytes on the wire, JSON decoding, structural
+// validation, and signature hashing — is O(changed boxes), not
+// O(hierarchy). The server reconstructs each state with
+// grid.WithDelta (incremental signature maintenance), then answers
+// through exactly the same cache / singleflight / fleet-tier stack as
+// /v1/partition: a step response body is byte-identical to the
+// equivalent full post.
+//
+// Stateful partitioners finally compose with the service here: a
+// postmap(...) session keeps ONE long-lived partitioner instance whose
+// carried previous-assignment state lives server-side, advancing only
+// on successful steps (a cancelled step leaves both the session's
+// hierarchy and the postmap state untouched — the partitioner
+// contract). Stateful results are never cached or offered to the fleet
+// tier, exactly as in the one-shot path.
+//
+// Sessions are soft state in a bounded, TTL'd, mtime-LRU table
+// (Config.MaxSessions / Config.SessionTTL): an expired, evicted, or
+// unknown session answers 410 Gone with the machine-readable error
+// code "session-expired", and the client re-creates the session from
+// its current full state — nothing is lost but one full upload.
+
+// SessionHeader carries the session token on session responses.
+const SessionHeader = "X-Samr-Session"
+
+// Machine-readable error codes of the session wire contract
+// (ErrorResponse.Code).
+const (
+	// CodeSessionExpired: the step or delete referenced a session that
+	// has expired, been evicted, or never existed. The remedy is POST
+	// /v1/session with the full current state.
+	CodeSessionExpired = "session-expired"
+	// CodeSessionBaseMismatch: the step declared a base signature that
+	// is not the session's current state — client and server drifted
+	// (e.g. a retried step already applied). The remedy is to re-sync
+	// or re-create.
+	CodeSessionBaseMismatch = "session-base-mismatch"
+)
+
+// Level ops of SessionStepRequest.
+const (
+	// LevelKeep marks a level as unchanged from the session's state.
+	LevelKeep = "keep"
+	// LevelReplace replaces a level's patch set wholesale.
+	LevelReplace = "replace"
+)
+
+// session is one client's streaming partitioning state.
+type session struct {
+	id string
+	// mu serializes steps: deltas are order-sensitive.
+	mu sync.Mutex
+	// h is the current regrid state, signature-tracked so each delta
+	// re-hashes only what changed. Owned by the session; levels are
+	// immutable once attached.
+	h *grid.Hierarchy
+	// part is the session's long-lived partitioner instance; only the
+	// stateful (postmap) path runs it, so carried state accumulates
+	// here, server-side.
+	part partition.Partitioner
+	// name is the canonical partitioner name (the cache key component).
+	name     string
+	stateful bool
+	nprocs   int
+
+	// lastUsed is the LRU mtime, guarded by the table lock.
+	lastUsed time.Time
+	elem     *list.Element
+}
+
+// sessionTable is the bounded TTL'd session store plus the session
+// endpoints' accounting (kept out of the per-endpoint stats map so an
+// unused session layer leaves /v1/stats byte-identical to a build
+// without one).
+type sessionTable struct {
+	mu       sync.Mutex
+	max      int
+	ttl      time.Duration
+	sessions map[string]*session
+	order    *list.List // front = most recently used
+	now      func() time.Time
+
+	created, expired, evicted, steps atomic.Uint64
+	http                             endpointStats
+}
+
+func newSessionTable(max int, ttl time.Duration) *sessionTable {
+	return &sessionTable{
+		max:      max,
+		ttl:      ttl,
+		sessions: make(map[string]*session),
+		order:    list.New(),
+		now:      time.Now,
+	}
+}
+
+// lookup returns the live session for id, touching its mtime, or nil
+// if it is unknown, expired (removed on the spot), or evicted.
+func (t *sessionTable) lookup(id string) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sess, ok := t.sessions[id]
+	if !ok {
+		return nil
+	}
+	now := t.now()
+	if now.Sub(sess.lastUsed) > t.ttl {
+		t.removeLocked(sess)
+		t.expired.Add(1)
+		return nil
+	}
+	sess.lastUsed = now
+	t.order.MoveToFront(sess.elem)
+	return sess
+}
+
+// put inserts a fresh session, expiring stale entries first and then
+// evicting the least recently used past the bound.
+func (t *sessionTable) put(sess *session) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	for back := t.order.Back(); back != nil; back = t.order.Back() {
+		s := back.Value.(*session)
+		if now.Sub(s.lastUsed) <= t.ttl {
+			break
+		}
+		t.removeLocked(s)
+		t.expired.Add(1)
+	}
+	for len(t.sessions) >= t.max {
+		t.removeLocked(t.order.Back().Value.(*session))
+		t.evicted.Add(1)
+	}
+	sess.lastUsed = now
+	sess.elem = t.order.PushFront(sess)
+	t.sessions[sess.id] = sess
+	t.created.Add(1)
+}
+
+// remove deletes id, reporting whether it was present and live.
+func (t *sessionTable) remove(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sess, ok := t.sessions[id]
+	if !ok {
+		return false
+	}
+	live := t.now().Sub(sess.lastUsed) <= t.ttl
+	t.removeLocked(sess)
+	if !live {
+		t.expired.Add(1)
+	}
+	return live
+}
+
+func (t *sessionTable) removeLocked(sess *session) {
+	delete(t.sessions, sess.id)
+	t.order.Remove(sess.elem)
+}
+
+// stats snapshots the session counters, or nil while the layer has
+// never been used (keeping the stats body identical to a sessionless
+// build until the first session request arrives).
+func (t *sessionTable) stats() *SessionCounters {
+	if t.http.requests.Load() == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	active := len(t.sessions)
+	t.mu.Unlock()
+	return &SessionCounters{
+		Active:   active,
+		Capacity: t.max,
+		Created:  t.created.Load(),
+		Steps:    t.steps.Load(),
+		Expired:  t.expired.Load(),
+		Evicted:  t.evicted.Load(),
+		Requests: t.http.requests.Load(),
+		Errors:   t.http.errors.Load(),
+	}
+}
+
+// newSessionID returns a 128-bit random hex token.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("session id entropy: " + err.Error()) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statefulSpec reports whether a canonical partitioner name names a
+// stateful (history-carrying) partitioner — the post-mapping wrapper.
+// Stateful session results bypass the partition cache and the fleet
+// tier: they are not pure functions of (signature, name, nprocs).
+func statefulSpec(canonical string) bool {
+	return strings.HasPrefix(canonical, "postmap(")
+}
+
+// writeSessionGone emits the documented 410 session-expired wire error.
+func writeSessionGone(w http.ResponseWriter, id string) {
+	writeErrCode(w, http.StatusGone, CodeSessionExpired,
+		"session %q expired, was evicted, or never existed; POST /v1/session to start a new one", id)
+}
+
+// handleSessionCreate opens a session: full hierarchy upload, spec and
+// nprocs fixed for the session's lifetime, incremental signature
+// tracking from this state on.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionCreateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Hierarchy == nil {
+		writeErr(w, http.StatusBadRequest, "request carries no hierarchy")
+		return
+	}
+	canonical, err := ParsePartitioner(req.Partitioner)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h, err := req.Hierarchy.toGrid()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "hierarchy: %v", err)
+		return
+	}
+	if !s.checkProcs(w, &req.NProcs) {
+		return
+	}
+	if !s.checkLive(w, r) {
+		return
+	}
+	h.TrackSignature()
+	name := canonical.Name()
+	sess := &session{
+		id:       newSessionID(),
+		h:        h,
+		part:     canonical,
+		name:     name,
+		stateful: statefulSpec(name),
+		nprocs:   req.NProcs,
+	}
+	s.sessions.put(sess)
+
+	resp := SessionCreateResponse{
+		Session:     sess.id,
+		Signature:   h.Signature().String(),
+		Partitioner: name,
+		NProcs:      req.NProcs,
+		Stateful:    sess.stateful,
+		TTLSeconds:  int(s.cfg.SessionTTL / time.Second),
+		Levels:      make([]string, h.NumLevels()),
+	}
+	for l := range resp.Levels {
+		resp.Levels[l] = h.LevelSignature(l).String()
+	}
+	w.Header().Set(SessionHeader, sess.id)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionStep advances a session by one regrid delta and
+// partitions the resulting state. The response body is byte-identical
+// to the equivalent full /v1/partition post of the reconstructed
+// hierarchy: same result fields, same cache dispositions, same cache
+// headers — only the X-Samr-Session header marks the path. A failed
+// step (validation, cancellation, deadline) leaves the session state —
+// hierarchy and any carried postmap history — exactly as it was, so
+// the client retries the same delta.
+func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	id := r.PathValue("id")
+	var req SessionStepRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	step := make([]grid.LevelDelta, len(req.Levels))
+	for l, op := range req.Levels {
+		switch op.Op {
+		case LevelKeep:
+			if len(op.Boxes) > 0 {
+				writeErr(w, http.StatusBadRequest, "level %d: op %q carries boxes", l, LevelKeep)
+				return
+			}
+			step[l] = grid.Keep()
+		case LevelReplace:
+			boxes := make(geom.BoxList, len(op.Boxes))
+			for i, wb := range op.Boxes {
+				b, err := wb.toGeom()
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, "level %d box %d: %v", l, i, err)
+					return
+				}
+				boxes[i] = b
+			}
+			step[l] = grid.Replace(boxes)
+		default:
+			writeErr(w, http.StatusBadRequest, "level %d: unknown op %q (have %q, %q)", l, op.Op, LevelKeep, LevelReplace)
+			return
+		}
+	}
+	sess := s.sessions.lookup(id)
+	if sess == nil {
+		writeSessionGone(w, id)
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if req.Base != "" && req.Base != sess.h.Signature().String() {
+		writeErrCode(w, http.StatusConflict, CodeSessionBaseMismatch,
+			"step base signature %.12s does not match the session state %.12s", req.Base, sess.h.Signature().String())
+		return
+	}
+	next, err := sess.h.WithDelta(step)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.checkLive(w, r) {
+		return
+	}
+
+	sig := next.Signature()
+	var a *partition.Assignment
+	disp := CacheMiss
+	if sess.stateful {
+		// The session's own instance carries the previous-assignment
+		// state; results depend on it, so the cache and tier stay out
+		// of the way. A cancelled call leaves that state untouched.
+		a, err = sess.part.Partition(ctx, next, sess.nprocs)
+	} else {
+		key := CacheKey{Sig: sig, Partitioner: sess.name, NProcs: sess.nprocs}
+		a, disp, err = s.cache.GetOrCompute(ctx, key, func() (*partition.Assignment, error) {
+			// A fresh instance per compute, exactly like the one-shot
+			// path: every cached result stays a pure function of its
+			// key. Canonical names round-trip through the parser.
+			p, perr := ParsePartitioner(sess.name)
+			if perr != nil {
+				return nil, perr
+			}
+			return p.Partition(ctx, next, sess.nprocs)
+		})
+	}
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	// Commit: the session state advances only on success.
+	sess.h = next
+	s.sessions.steps.Add(1)
+
+	res := buildPartitionResult(next, sig, sess.name, sess.nprocs, a, disp)
+	results := []PartitionResult{res}
+	s.writeCacheHeaders(w, results)
+	w.Header().Set(SessionHeader, sess.id)
+	writeJSON(w, http.StatusOK, PartitionResponse{Results: results})
+}
+
+// handleSessionDelete closes a session. Deleting a live session
+// answers 204; an expired, evicted, or unknown one answers the same
+// 410 session-expired error as a step, so clients need one recovery
+// path.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
+		writeSessionGone(w, id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

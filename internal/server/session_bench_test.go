@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkSessionStepVsFullPost is the tentpole's closed-loop
+// comparison: driving the same mostly-unchanged regrid trajectory (64
+// static mid-level boxes, one moving finest patch) through repeated
+// full /v1/partition posts versus one session advanced by per-level
+// deltas. Each sub-benchmark runs against its own fresh server, so the
+// cache behavior is identical on both sides; the reported reqB/op
+// metric is the bytes a client uploads per step.
+func BenchmarkSessionStepVsFullPost(b *testing.B) {
+	newServer := func(b *testing.B) *httptest.Server {
+		b.Helper()
+		s, err := New(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s)
+		b.Cleanup(ts.Close)
+		return ts
+	}
+	trajectoryX := func(i int) int { return (i % 24) * 8 }
+	do := func(b *testing.B, url string, body []byte) {
+		b.Helper()
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()              //nolint:errcheck
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	b.Run("full-post", func(b *testing.B) {
+		ts := newServer(b)
+		reqs := make([][]byte, 24)
+		for i := range reqs {
+			h := wideHierarchy(trajectoryX(i))
+			body, err := json.Marshal(PartitionRequest{Hierarchy: &h, Partitioner: "domain", NProcs: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs[i] = body
+		}
+		var sent int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body := reqs[i%len(reqs)]
+			do(b, ts.URL+"/v1/partition", body)
+			sent += int64(len(body))
+		}
+		b.ReportMetric(float64(sent)/float64(b.N), "reqB/op")
+	})
+
+	b.Run("session-step", func(b *testing.B) {
+		ts := newServer(b)
+		base := wideHierarchy(trajectoryX(0))
+		createBody, err := json.Marshal(SessionCreateRequest{Hierarchy: &base, Partitioner: "domain", NProcs: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/session", "application/json", bytes.NewReader(createBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var create SessionCreateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&create); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close() //nolint:errcheck
+		stepURL := fmt.Sprintf("%s/v1/session/%s/step", ts.URL, create.Session)
+		reqs := make([][]byte, 24)
+		for i := range reqs {
+			body, err := json.Marshal(finestStep(trajectoryX(i + 1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs[i] = body
+		}
+		var sent int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body := reqs[i%len(reqs)]
+			do(b, stepURL, body)
+			sent += int64(len(body))
+		}
+		b.ReportMetric(float64(sent)/float64(b.N), "reqB/op")
+	})
+}

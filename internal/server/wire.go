@@ -255,6 +255,82 @@ type TracesResponse struct {
 // ErrorResponse is the JSON body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code is a machine-readable error code on errors clients are
+	// expected to branch on (e.g. "session-expired" → re-create the
+	// session); absent on every other error, keeping those bodies
+	// identical to earlier releases.
+	Code string `json:"code,omitempty"`
+}
+
+// LevelOp is one level's entry in a session step: op "keep" leaves the
+// level as the session holds it (boxes must be absent), op "replace"
+// substitutes the level's whole patch set with Boxes. A step carries
+// exactly the new state's level count, so levels are appended by
+// sending a longer list and dropped by sending a shorter one.
+type LevelOp struct {
+	Op    string `json:"op"`
+	Boxes []Box  `json:"boxes,omitempty"`
+}
+
+// SessionCreateRequest opens a streaming session: one full hierarchy
+// upload, with the partitioner spec and processor count fixed for the
+// session's lifetime.
+type SessionCreateRequest struct {
+	Hierarchy   *Hierarchy `json:"hierarchy"`
+	Partitioner string     `json:"partitioner"`
+	NProcs      int        `json:"nprocs"`
+}
+
+// SessionCreateResponse returns the session token plus the base state's
+// content signatures (whole hierarchy and per level), so the client can
+// verify agreement before streaming deltas.
+type SessionCreateResponse struct {
+	// Session is the token; subsequent steps address
+	// /v1/session/{token}/step (also echoed in X-Samr-Session).
+	Session string `json:"session"`
+	// Signature is the content hash of the uploaded base hierarchy.
+	Signature string `json:"signature"`
+	// Levels are the per-level sub-digests of the base hierarchy.
+	Levels []string `json:"levels"`
+	// Partitioner is the canonical partitioner name the session runs.
+	Partitioner string `json:"partitioner"`
+	NProcs      int    `json:"nprocs"`
+	// Stateful reports whether the partitioner carries history
+	// server-side (postmap): results then depend on the step sequence
+	// and bypass the result cache and fleet tier.
+	Stateful bool `json:"stateful"`
+	// TTLSeconds is the idle expiry horizon: a session untouched this
+	// long answers 410 session-expired.
+	TTLSeconds int `json:"ttl_seconds"`
+}
+
+// SessionStepRequest advances a session by one regrid delta and
+// partitions the resulting state. Levels[l] is level l of the NEW
+// state.
+type SessionStepRequest struct {
+	Levels []LevelOp `json:"levels"`
+	// Base optionally pins the step to a session state: if it does not
+	// match the session's current signature the step is rejected with
+	// 409 session-base-mismatch instead of silently applying the delta
+	// to a drifted state.
+	Base string `json:"base,omitempty"`
+}
+
+// SessionCounters is the session layer's accounting in /v1/stats.
+type SessionCounters struct {
+	// Active is the current table occupancy; Capacity its bound.
+	Active   int `json:"active"`
+	Capacity int `json:"capacity"`
+	// Created counts sessions opened; Steps successful step requests;
+	// Expired TTL expiries; Evicted LRU evictions past capacity.
+	Created uint64 `json:"created"`
+	Steps   uint64 `json:"steps"`
+	Expired uint64 `json:"expired"`
+	Evicted uint64 `json:"evicted"`
+	// Requests/Errors are the session endpoints' HTTP totals (kept out
+	// of the endpoints map: an unused session layer reports nothing).
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
 }
 
 // CacheCounters is the partition cache's cumulative accounting.
@@ -335,4 +411,8 @@ type StatsResponse struct {
 	// keeping the disabled-mode stats reply identical to a tier-less
 	// build.
 	Tier *tier.Stats `json:"tier,omitempty"`
+	// Sessions is the streaming-session layer's accounting; absent
+	// until the first session request arrives, keeping the sessionless
+	// stats reply identical to earlier releases.
+	Sessions *SessionCounters `json:"sessions,omitempty"`
 }

@@ -4,7 +4,8 @@
 # across PRs.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          (default BENCH_PR7.json)
+#   scripts/bench.sh [output.json]          (default: next BENCH_PR<N>.json
+#                                            after the highest one present)
 #   BENCHTIME=5x scripts/bench.sh           (more iterations per benchmark)
 #   BENCH_FILTER='TraceGeneration' scripts/bench.sh
 #
@@ -14,14 +15,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR7.json}
+# Default output: one past the highest BENCH_PR<N>.json already in the
+# repo, so the snapshot trajectory extends itself instead of clobbering
+# the previous PR's numbers (or going stale behind a hardcoded name).
+next_bench() {
+    local last
+    last=$(ls BENCH_PR*.json 2>/dev/null | sed -n 's/^BENCH_PR\([0-9]\+\)\.json$/\1/p' | sort -n | tail -1)
+    echo "BENCH_PR$((${last:-0} + 1)).json"
+}
+
+out=${1:-$(next_bench)}
 benchtime=${BENCHTIME:-3x}
-filter=${BENCH_FILTER:-'BenchmarkTraceGeneration|BenchmarkSimulateTraceParallel|BenchmarkFig|BenchmarkClassificationTrajectory|BenchmarkAblation|BenchmarkMetaPartitionerVsStatic|BenchmarkBoxIndexQuery|BenchmarkTierHitVsCompute'}
+filter=${BENCH_FILTER:-'BenchmarkTraceGeneration|BenchmarkSimulateTraceParallel|BenchmarkFig|BenchmarkClassificationTrajectory|BenchmarkAblation|BenchmarkMetaPartitionerVsStatic|BenchmarkBoxIndexQuery|BenchmarkTierHitVsCompute|BenchmarkSessionStepVsFullPost|BenchmarkSignatureDeltaVsFull'}
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run='^$' -bench "$filter" -benchtime "$benchtime" . ./internal/tier/ | tee "$tmp"
+go test -run='^$' -bench "$filter" -benchtime "$benchtime" . ./internal/tier/ ./internal/server/ ./internal/grid/ | tee "$tmp"
 
 awk '
 /^Benchmark/ && / ns\/op/ {
