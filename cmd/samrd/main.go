@@ -189,7 +189,52 @@
 // -tier-max-bytes bounds each disk store; the oldest entries are
 // evicted first. With no tier flags set, the tier is fully disabled
 // and responses are byte-identical to a build without it. Tier
-// counters appear under "tier" in /v1/stats.
+// counters appear under "tier" in /v1/stats. -tier-sim-steps
+// additionally spills simulator step artifacts (stateless steps only)
+// through the same tier, so a fleet shares /v1/simulate work too.
+//
+// # Fault tolerance and repair
+//
+// The fleet heals itself along two axes. Failover reads are always on:
+// each peer carries a circuit breaker (consecutive transport/5xx
+// failures open it; after a cooldown one probe half-opens it), and
+// when a key's owner is open the lookup — and the post-compute store
+// offer — diverts to the next peer in rendezvous order, one hop, so a
+// dead owner degrades its shard to a fleet-wide stand-in instead of a
+// recompute per request. Anti-entropy repair is the opt-in second
+// axis:
+//
+//	samrd ... -tier-repair 30s -tier-repair-keys 256
+//
+// With -tier-repair set, each daemon serves its resident key list at
+// GET /v1/tier/manifest and periodically pulls the keys it owns under
+// rendezvous hashing from its peers (checksum-verified, bounded per
+// round by -tier-repair-keys), so a wiped or rejoined member converges
+// back to a warm shard within interval-plus-a-few-rounds instead of
+// serving cold forever. Repair is pull-only and idempotent; enable it
+// fleet-wide (a member without the flag still answers probes but
+// serves no manifest). With the flag unset nothing changes: no route,
+// no goroutine, stats byte-identical to a repair-less build.
+//
+// Operators watch the self-healing layer in /v1/stats under "tier":
+// "breakers" lists non-closed peer breakers (state and consecutive
+// failures), "failover_reads"/"failover_stores" count diverted
+// exchanges, "corrupt" counts quarantined blobs, and "repair" holds
+// {rounds, keys_pulled, bytes_pulled, failures, missing} — "missing"
+// is the owned-key deficit still to be pulled; it falling to 0 is a
+// rejoined member finishing convergence. All of these are omitted
+// while zero, so a healthy fleet's stats are unchanged.
+//
+// For chaos drills only, -faults arms deterministic fault injection
+// inside the tier (never on the client-facing path), e.g.
+//
+//	samrd ... -faults 'disk.put:enospc:every=7;peer.get:latency:delay=20ms,prob=0.1' -fault-seed 7
+//
+// Points: disk.get, disk.put, peer.get, peer.put, peer.manifest; modes
+// error, latency, corrupt, enospc, scheduled by every/after/count/prob
+// and derived purely from -fault-seed (same seed, same schedule). The
+// contract under any schedule is the tier's usual one: degraded
+// performance, never a wrong byte or a client-visible error.
 package main
 
 import (
@@ -205,6 +250,7 @@ import (
 	"syscall"
 	"time"
 
+	"samr/internal/fault"
 	"samr/internal/server"
 )
 
@@ -225,6 +271,11 @@ func main() {
 		tierPeers   = flag.String("tier-peers", "", "comma-separated base URLs of every fleet member, identical across the fleet")
 		tierSelf    = flag.String("tier-self", "", "this daemon's own base URL as listed in -tier-peers")
 		tierMax     = flag.Int64("tier-max-bytes", 256<<20, "fleet tier disk store size bound in bytes")
+		tierRepair  = flag.Duration("tier-repair", 0, "anti-entropy repair interval (0 disables; needs -tier-dir, -tier-peers, -tier-self)")
+		tierRepKeys = flag.Int("tier-repair-keys", 256, "max keys pulled per repair round")
+		tierSim     = flag.Bool("tier-sim-steps", false, "spill simulator step artifacts through the fleet tier")
+		faultSpec   = flag.String("faults", "", "fault-injection schedule for chaos drills, e.g. 'disk.put:enospc:every=7;peer.get:latency:delay=20ms,prob=0.1' (empty disables)")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed deriving the deterministic -faults schedule")
 		maxSessions = flag.Int("max-sessions", 256, "streaming session table capacity (LRU eviction past it)")
 		sessionTTL  = flag.Duration("session-ttl", 15*time.Minute, "idle expiry for streaming sessions")
 	)
@@ -234,6 +285,19 @@ func main() {
 	for _, p := range strings.Split(*tierPeers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
 			peers = append(peers, p)
+		}
+	}
+
+	var injector *fault.Injector
+	if *faultSpec != "" {
+		plans, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "samrd:", err)
+			os.Exit(1)
+		}
+		if injector, err = fault.New(*faultSeed, plans...); err != nil {
+			fmt.Fprintln(os.Stderr, "samrd:", err)
+			os.Exit(1)
 		}
 	}
 
@@ -252,6 +316,10 @@ func main() {
 		TierMaxBytes:   *tierMax,
 		TierPeers:      peers,
 		TierSelf:       *tierSelf,
+		TierRepair:     *tierRepair,
+		TierRepairKeys: *tierRepKeys,
+		TierSimSteps:   *tierSim,
+		Faults:         injector,
 		MaxSessions:    *maxSessions,
 		SessionTTL:     *sessionTTL,
 	})
@@ -303,6 +371,12 @@ func main() {
 	if s.Tier() != nil {
 		log.Printf("samrd: fleet tier on (dir %q, %d peers, %d byte bound)", *tierDir, len(peers), *tierMax)
 	}
+	if s.Repairer() != nil {
+		log.Printf("samrd: anti-entropy repair on (every %s, <=%d keys/round)", *tierRepair, *tierRepKeys)
+	}
+	if injector != nil {
+		log.Printf("samrd: FAULT INJECTION ARMED (chaos drill, seed %d): %s", *faultSeed, injector)
+	}
 	if *inflight > 0 {
 		log.Printf("samrd: admission control on (max in-flight %d, queue %d, tenant rate %g/s)",
 			*inflight, s.Admission().Stats().QueueDepth, *tenantRate)
@@ -314,6 +388,7 @@ func main() {
 	}
 	stop()
 	<-drained
+	s.Close() // stop the repair loop after the HTTP drain
 	hits, misses, shared := s.Cache().Stats()
 	log.Printf("samrd: shut down (cache hits %d, misses %d, shared %d)", hits, misses, shared)
 }

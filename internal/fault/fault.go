@@ -1,0 +1,341 @@
+// Package fault is the deterministic fault-injection registry behind
+// the fleet tier's chaos testing. Code under test declares named
+// injection points (plain strings like "disk.put"); a test or the
+// -faults flag arms an Injector with per-point schedules — inject an
+// error, add latency, flip a byte, report a full disk — and every
+// decision is a pure function of (seed, point, per-point operation
+// index). The same seed therefore always produces the same schedule:
+// there is no wall-clock input and no shared random stream whose
+// consumption order could vary with goroutine interleaving (operation
+// indices are handed out atomically in arrival order; which *indices*
+// fire is fixed up front).
+//
+// Production builds carry only a nil *Injector: every point is one
+// nil-receiver check, so the harness is zero-cost when disarmed.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Mode is what a plan injects when it fires.
+type Mode string
+
+const (
+	// Error fails the operation with ErrInjected.
+	Error Mode = "error"
+	// Latency delays the operation by the plan's Delay.
+	Latency Mode = "latency"
+	// Corrupt flips one byte of the operation's payload (the caller
+	// applies Decision.Corrupt with Damage).
+	Corrupt Mode = "corrupt"
+	// NoSpace fails the operation with ErrNoSpace (wraps
+	// syscall.ENOSPC): an injected full disk.
+	NoSpace Mode = "enospc"
+)
+
+// ErrInjected is the generic injected operation failure.
+var ErrInjected = fmt.Errorf("fault: injected error")
+
+// ErrNoSpace is the injected disk-full failure; it wraps
+// syscall.ENOSPC so errors.Is sees a real out-of-space condition.
+var ErrNoSpace = fmt.Errorf("fault: injected: %w", syscall.ENOSPC)
+
+// Plan is one schedule attached to one injection point. Firing is
+// decided per operation: skip the first After operations, then fire on
+// every Every-th of the remaining ones (Every <= 1 means every one),
+// each firing further gated by Prob when 0 < Prob < 1, and capped at
+// Count total firings (0 means unlimited).
+type Plan struct {
+	// Point names the injection point this plan arms.
+	Point string
+	// Mode selects the injected effect.
+	Mode Mode
+	// Prob gates each scheduled firing with a seeded pseudo-random
+	// check when 0 < Prob < 1 (0 and >= 1 both mean "always").
+	Prob float64
+	// Every fires on every Every-th eligible operation (<= 1: all).
+	Every int
+	// After skips the first After operations at the point entirely.
+	After int
+	// Count caps the plan's total firings (0: unlimited).
+	Count int
+	// Delay is the added latency for Latency mode.
+	Delay time.Duration
+}
+
+func (p Plan) validate() error {
+	if p.Point == "" {
+		return fmt.Errorf("fault: plan without a point")
+	}
+	switch p.Mode {
+	case Error, Corrupt, NoSpace:
+	case Latency:
+		if p.Delay <= 0 {
+			return fmt.Errorf("fault: latency plan for %q needs delay > 0", p.Point)
+		}
+	default:
+		return fmt.Errorf("fault: unknown mode %q for point %q", p.Mode, p.Point)
+	}
+	if p.Prob < 0 || p.Every < 0 || p.After < 0 || p.Count < 0 {
+		return fmt.Errorf("fault: negative schedule field for point %q", p.Point)
+	}
+	return nil
+}
+
+// Decision is the injected effect for one operation; the zero value
+// means "proceed normally". Err and Corrupt are mutually exclusive by
+// construction order (an error fires first); Delay composes with both.
+type Decision struct {
+	Err     error
+	Delay   time.Duration
+	Corrupt bool
+}
+
+// Sleep applies the decision's latency (a no-op at zero). Split out so
+// callers can place the stall before taking locks.
+func (d Decision) Sleep() {
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+}
+
+// Damage flips one byte of b in place (deterministically: the middle
+// one) and returns it; a nil or empty slice passes through. Callers
+// that do not own b must copy first.
+func Damage(b []byte) []byte {
+	if len(b) > 0 {
+		b[len(b)/2] ^= 0xFF
+	}
+	return b
+}
+
+type planState struct {
+	Plan
+	idx   int // position in the injector's plan list; salts the hash
+	fired atomic.Uint64
+}
+
+type point struct {
+	plans    []*planState
+	ops      atomic.Uint64
+	injected atomic.Uint64
+}
+
+// Injector holds armed schedules for a set of points. A nil *Injector
+// is valid and never injects. All methods are safe for concurrent use.
+type Injector struct {
+	seed   uint64
+	points map[string]*point
+}
+
+// New builds an injector from seed and plans. An empty plan list is
+// valid (the injector never fires).
+func New(seed int64, plans ...Plan) (*Injector, error) {
+	in := &Injector{seed: uint64(seed), points: make(map[string]*point)}
+	for i, p := range plans {
+		if err := p.validate(); err != nil {
+			return nil, err
+		}
+		pt := in.points[p.Point]
+		if pt == nil {
+			pt = &point{}
+			in.points[p.Point] = pt
+		}
+		pt.plans = append(pt.plans, &planState{Plan: p, idx: i})
+	}
+	return in, nil
+}
+
+// Hit advances the named point by one operation and returns the
+// injected effect for it (the zero Decision when nothing fires, the
+// point is unarmed, or the injector is nil).
+func (in *Injector) Hit(name string) Decision {
+	if in == nil {
+		return Decision{}
+	}
+	pt := in.points[name]
+	if pt == nil {
+		return Decision{}
+	}
+	i := pt.ops.Add(1)
+	var d Decision
+	for _, ps := range pt.plans {
+		if !ps.fires(in.seed, name, i) {
+			continue
+		}
+		switch ps.Mode {
+		case Error:
+			if d.Err == nil {
+				d.Err = ErrInjected
+			}
+		case NoSpace:
+			if d.Err == nil {
+				d.Err = ErrNoSpace
+			}
+		case Latency:
+			d.Delay += ps.Delay
+		case Corrupt:
+			d.Corrupt = true
+		}
+	}
+	if d != (Decision{}) {
+		pt.injected.Add(1)
+	}
+	return d
+}
+
+// fires decides whether the plan fires for 1-based operation index i.
+func (ps *planState) fires(seed uint64, name string, i uint64) bool {
+	if i <= uint64(ps.After) {
+		return false
+	}
+	k := i - uint64(ps.After)
+	if ps.Every > 1 && k%uint64(ps.Every) != 0 {
+		return false
+	}
+	if ps.Prob > 0 && ps.Prob < 1 && unit(seed, name, ps.idx, i) >= ps.Prob {
+		return false
+	}
+	if ps.Count > 0 && ps.fired.Add(1) > uint64(ps.Count) {
+		return false
+	}
+	return true
+}
+
+// unit hashes (seed, point, plan index, op index) to [0, 1): a
+// stateless pseudo-random gate immune to call interleaving.
+func unit(seed uint64, name string, idx int, i uint64) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xFF
+			h *= prime64
+		}
+	}
+	mix(seed)
+	for j := 0; j < len(name); j++ {
+		h ^= uint64(name[j])
+		h *= prime64
+	}
+	mix(uint64(idx))
+	mix(i)
+	return float64(h>>11) / (1 << 53)
+}
+
+// PointStats is one point's cumulative accounting.
+type PointStats struct {
+	// Ops counts operations that consulted the point.
+	Ops uint64 `json:"ops"`
+	// Injected counts operations that received a non-zero Decision.
+	Injected uint64 `json:"injected"`
+}
+
+// Stats snapshots every armed point (nil injector: nil map).
+func (in *Injector) Stats() map[string]PointStats {
+	if in == nil {
+		return nil
+	}
+	out := make(map[string]PointStats, len(in.points))
+	for name, pt := range in.points {
+		out[name] = PointStats{Ops: pt.ops.Load(), Injected: pt.injected.Load()}
+	}
+	return out
+}
+
+// String summarizes the armed schedule, sorted by point, for startup
+// logging.
+func (in *Injector) String() string {
+	if in == nil {
+		return "off"
+	}
+	names := make([]string, 0, len(in.points))
+	for name := range in.points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		for _, ps := range in.points[name].plans {
+			if b.Len() > 0 {
+				b.WriteByte(';')
+			}
+			fmt.Fprintf(&b, "%s:%s", name, ps.Mode)
+			if ps.Delay > 0 {
+				fmt.Fprintf(&b, ":delay=%s", ps.Delay)
+			}
+		}
+	}
+	if b.Len() == 0 {
+		return "armed (no plans)"
+	}
+	return b.String()
+}
+
+// Parse decodes a -faults flag value into plans. The grammar is
+// semicolon-separated plans, each "point:mode[:key=value,...]" with
+// keys prob (float), every, after, count (ints), and delay (Go
+// duration), e.g.
+//
+//	disk.put:enospc:every=7,count=3;peer.get:latency:delay=20ms,prob=0.2
+//
+// An empty spec yields no plans.
+func Parse(spec string) ([]Plan, error) {
+	var plans []Plan
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.SplitN(part, ":", 3)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("fault: plan %q: want point:mode[:options]", part)
+		}
+		p := Plan{Point: strings.TrimSpace(fields[0]), Mode: Mode(strings.TrimSpace(fields[1]))}
+		if len(fields) == 3 {
+			for _, opt := range strings.Split(fields[2], ",") {
+				opt = strings.TrimSpace(opt)
+				if opt == "" {
+					continue
+				}
+				kv := strings.SplitN(opt, "=", 2)
+				if len(kv) != 2 {
+					return nil, fmt.Errorf("fault: plan %q: option %q: want key=value", part, opt)
+				}
+				var err error
+				switch kv[0] {
+				case "prob":
+					p.Prob, err = strconv.ParseFloat(kv[1], 64)
+				case "every":
+					p.Every, err = strconv.Atoi(kv[1])
+				case "after":
+					p.After, err = strconv.Atoi(kv[1])
+				case "count":
+					p.Count, err = strconv.Atoi(kv[1])
+				case "delay":
+					p.Delay, err = time.ParseDuration(kv[1])
+				default:
+					return nil, fmt.Errorf("fault: plan %q: unknown option %q", part, kv[0])
+				}
+				if err != nil {
+					return nil, fmt.Errorf("fault: plan %q: option %q: %w", part, opt, err)
+				}
+			}
+		}
+		if err := p.validate(); err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}

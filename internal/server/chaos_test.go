@@ -1,0 +1,307 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"samr/internal/fault"
+	"samr/internal/tier"
+)
+
+// The chaos suite: an in-process fleet driven through seeded fault
+// schedules — corrupt resident blobs, injected disk-full, dropped peer
+// exchanges, a member killed and later rejoining wiped — asserting the
+// self-healing contract: zero client-visible errors, bodies
+// byte-identical to a fault-free run, and a wiped member converging to
+// an empty manifest diff. Everything here is deterministic apart from
+// which member owns which key (httptest ports feed the rendezvous
+// hash), so assertions never depend on a particular ownership draw.
+
+// chaosMember is one fleet daemon that can be killed and restarted on
+// its original URL (listeners have SO_REUSEADDR, so re-binding the
+// address works as soon as the old listener is closed).
+type chaosMember struct {
+	srv  *Server
+	ts   *httptest.Server
+	url  string
+	addr string
+	cfg  Config
+	in   *fault.Injector
+}
+
+// chaosPlans is the suite's standing fault schedule: periodic resident
+// blob corruption, periodic disk-full writes, periodic dropped peer
+// fetches, and latency on peer offers.
+func chaosPlans() []fault.Plan {
+	return []fault.Plan{
+		{Point: tier.FaultDiskGet, Mode: fault.Corrupt, Every: 5},
+		{Point: tier.FaultDiskPut, Mode: fault.NoSpace, Every: 7},
+		{Point: tier.FaultPeerGet, Mode: fault.Error, Every: 6},
+		{Point: tier.FaultPeerPut, Mode: fault.Latency, Every: 4, Delay: 2 * time.Millisecond},
+	}
+}
+
+// newChaosFleet is newFleet with a per-member seeded injector: member i
+// runs the shared plan set from seed+i, so every run of the suite
+// replays the identical fault schedule per member.
+func newChaosFleet(t *testing.T, n int, seed int64, plans []fault.Plan) []*chaosMember {
+	t.Helper()
+	members := make([]*chaosMember, n)
+	urls := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range members {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	for i := range members {
+		in, err := fault.New(seed+int64(i), plans...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			TierDir:   t.TempDir(),
+			TierPeers: urls,
+			TierSelf:  urls[i],
+			Faults:    in,
+		}
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(srv)
+		ts.Listener.Close() //nolint:errcheck
+		ts.Listener = listeners[i]
+		ts.Start()
+		t.Cleanup(srv.Close)
+		t.Cleanup(ts.Close)
+		members[i] = &chaosMember{
+			srv: srv, ts: ts, url: urls[i],
+			addr: listeners[i].Addr().String(), cfg: cfg, in: in,
+		}
+	}
+	return members
+}
+
+// kill stops the member's listener mid-flood, like a crashed daemon.
+func (m *chaosMember) kill() {
+	m.ts.Close()
+	// Drop pooled keep-alive connections so later requests to surviving
+	// members never ride a connection the dead one owned.
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// restart brings the member back on its original URL with cfg (the
+// rejoin scenario passes a fresh TierDir: a wiped disk).
+func (m *chaosMember) restart(t *testing.T, cfg Config) {
+	t.Helper()
+	m.ts.Close()
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		if ln, err = net.Listen("tcp", m.addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("re-binding %s: %v", m.addr, err)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(srv)
+	ts.Listener.Close() //nolint:errcheck
+	ts.Listener = ln
+	ts.Start()
+	t.Cleanup(srv.Close)
+	t.Cleanup(ts.Close)
+	m.srv, m.ts, m.cfg = srv, ts, cfg
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// TestChaosFleetServesBaselineBodiesUnderFaults is the headline chaos
+// property: a fleet under the standing fault schedule — including one
+// member killed mid-flood and rejoining wiped — answers every request
+// with 200 and a body byte-identical to the fault-free baseline, and
+// the rejoined member's repair loop converges to an empty manifest
+// diff.
+func TestChaosFleetServesBaselineBodiesUnderFaults(t *testing.T) {
+	const nHier = 24
+
+	// The fault-free baseline fleet fixes the expected body per
+	// hierarchy (tier members and a tier-less recompute already agree;
+	// see TestFleetTierServesPeerComputedPartition).
+	base := newFleet(t, 3)
+	want := make([]string, nHier)
+	for i := 0; i < nHier; i++ {
+		req := PartitionRequest{Partitioner: "domain", NProcs: 4}
+		h := testHierarchy(i)
+		req.Hierarchy = &h
+		var resp PartitionResponse
+		if r := post(t, base[i%3].url+"/v1/partition", req, &resp); r.StatusCode != http.StatusOK {
+			t.Fatalf("baseline hierarchy %d: status %d", i, r.StatusCode)
+		}
+		want[i] = normalizedBody(t, resp)
+	}
+
+	fleet := newChaosFleet(t, 3, 42, chaosPlans())
+	check := func(pass int, m *chaosMember, hi int) {
+		t.Helper()
+		req := PartitionRequest{Partitioner: "domain", NProcs: 4}
+		h := testHierarchy(hi)
+		req.Hierarchy = &h
+		var resp PartitionResponse
+		r := post(t, m.url+"/v1/partition", req, &resp)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("pass %d hierarchy %d on %s: status %d (faults must never be client-visible)",
+				pass, hi, m.url, r.StatusCode)
+		}
+		if got := normalizedBody(t, resp); got != want[hi] {
+			t.Fatalf("pass %d hierarchy %d on %s: body differs from fault-free baseline\n got: %s\nwant: %s",
+				pass, hi, m.url, got, want[hi])
+		}
+	}
+
+	// Pass 1: the whole fleet serves under faults.
+	for i := 0; i < nHier; i++ {
+		check(1, fleet[i%3], i)
+	}
+
+	// Pass 2: member 2 is dead; the survivors absorb the flood (their
+	// breakers for the dead member open along the way, diverting offers
+	// and reads to the rendezvous stand-in).
+	fleet[2].kill()
+	for i := 0; i < nHier; i++ {
+		check(2, fleet[i%2], i)
+	}
+
+	// Member 2 rejoins wiped — fresh disk, fresh seeded injector, and
+	// anti-entropy repair enabled (interval far beyond the test; rounds
+	// are driven manually below for determinism).
+	cfg := fleet[2].cfg
+	cfg.TierDir = t.TempDir()
+	cfg.TierRepair = time.Hour
+	in2, err := fault.New(999, chaosPlans()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = in2
+	fleet[2].restart(t, cfg)
+	fleet[2].in = in2
+
+	// Pass 3: the whole fleet again, shifted so every member serves
+	// hierarchies it has not answered before.
+	for i := 0; i < nHier; i++ {
+		check(3, fleet[(i+1)%3], i)
+	}
+
+	// The schedules actually fired on every member — the passes above
+	// ran under live faults, not an idle injector.
+	for i, m := range fleet {
+		fired := uint64(0)
+		for _, ps := range m.in.Stats() {
+			fired += ps.Injected
+		}
+		if fired == 0 {
+			t.Errorf("member %d: no fault ever fired; the chaos run was fault-free", i)
+		}
+	}
+
+	// The wiped member converges: bounded repair rounds pull every key
+	// it owns that any peer still holds, down to an empty manifest diff.
+	// Injected pull failures (peer.get drops, disk-full writes) only
+	// defer keys to a later round.
+	rep := fleet[2].srv.Repairer()
+	if rep == nil {
+		t.Fatal("restarted member has no repairer despite TierRepair")
+	}
+	ctx := context.Background()
+	converged := false
+	for r := 0; r < 50 && !converged; r++ {
+		converged = len(rep.Missing(ctx)) == 0
+		if !converged {
+			rep.Round(ctx)
+		}
+	}
+	if !converged {
+		t.Fatalf("wiped member still missing %d owned keys after 50 repair rounds", len(rep.Missing(ctx)))
+	}
+	st := rep.Stats()
+	if st.Missing != 0 && st.Rounds > 0 {
+		t.Errorf("repair gauge disagrees with convergence: %+v", st)
+	}
+
+	// And the rejoined member serves the baseline bodies.
+	for i := 0; i < nHier; i += 5 {
+		check(4, fleet[2], i)
+	}
+}
+
+// TestChaosCorruptResidentBlobQuarantined pins the deterministic
+// corrupt path: an always-corrupt disk read is rejected by the decoder,
+// quarantined, recomputed, and invisible to the client.
+func TestChaosCorruptResidentBlobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	req := PartitionRequest{Partitioner: "domain", NProcs: 8}
+	h := testHierarchy(11)
+	req.Hierarchy = &h
+
+	// A fault-free daemon computes and persists the entry.
+	_, ts1 := newTestServer(t, Config{TierDir: dir})
+	var resp1 PartitionResponse
+	post(t, ts1.URL+"/v1/partition", req, &resp1)
+
+	// A restarted daemon (cold memory cache, same dir) reads every
+	// resident blob damaged.
+	in, err := fault.New(7, fault.Plan{Point: tier.FaultDiskGet, Mode: fault.Corrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, ts2 := newTestServer(t, Config{TierDir: dir, Faults: in})
+	var resp2 PartitionResponse
+	r := post(t, ts2.URL+"/v1/partition", req, &resp2)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d under corrupt reads", r.StatusCode)
+	}
+	if got, wantBody := normalizedBody(t, resp2), normalizedBody(t, resp1); got != wantBody {
+		t.Error("recompute after quarantine differs from original body")
+	}
+	if st := srv2.Tier().Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+}
+
+// TestChaosDiskFullDegradesToCompute pins the deterministic disk-full
+// path: with every tier write failing ENOSPC, requests still succeed
+// and the failure is visible only as store_errors.
+func TestChaosDiskFullDegradesToCompute(t *testing.T) {
+	in, err := fault.New(3, fault.Plan{Point: tier.FaultDiskPut, Mode: fault.NoSpace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{TierDir: t.TempDir(), Faults: in})
+	req := PartitionRequest{Partitioner: "domain", NProcs: 8}
+	h := testHierarchy(13)
+	req.Hierarchy = &h
+	for i := 0; i < 2; i++ {
+		if r := post(t, ts.URL+"/v1/partition", req, nil); r.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d under injected disk-full", i, r.StatusCode)
+		}
+	}
+	st := srv.Tier().Stats()
+	if st.StoreErrors == 0 {
+		t.Error("injected disk-full never counted a store error")
+	}
+	if srv.Tier().Disk().Len() != 0 {
+		t.Error("entry landed on a full disk")
+	}
+}

@@ -67,6 +67,7 @@ import (
 
 	"samr/internal/admit"
 	"samr/internal/core"
+	"samr/internal/fault"
 	"samr/internal/geom"
 	"samr/internal/grid"
 	"samr/internal/partition"
@@ -130,6 +131,22 @@ type Config struct {
 	// TierSelf is this daemon's own base URL as it appears in
 	// TierPeers, so keys it owns are not fetched from itself over HTTP.
 	TierSelf string
+	// TierRepair enables anti-entropy repair at this interval (0
+	// disables it — the default; requires the disk store, peers, and
+	// TierSelf). With repair on, the daemon serves its key manifest at
+	// GET /v1/tier/manifest and periodically pulls the keys it owns
+	// under rendezvous hashing from its peers, so a wiped or rejoined
+	// member converges instead of serving cold forever.
+	TierRepair time.Duration
+	// TierRepairKeys bounds keys pulled per repair round (default 256).
+	TierRepairKeys int
+	// TierSimSteps additionally spills simulator step artifacts
+	// through the fleet tier (stateless steps only; the step cache is
+	// process-wide, so the last server wired wins).
+	TierSimSteps bool
+	// Faults arms the tier's fault-injection points for chaos testing
+	// (nil in production: the registry is zero-cost when disarmed).
+	Faults *fault.Injector
 	// MaxSessions bounds the streaming-session table (default 256);
 	// past it the least recently used session is evicted and its next
 	// step answers 410 session-expired.
@@ -204,7 +221,10 @@ type Server struct {
 	mux      *http.ServeMux
 	admit    *admit.Controller // nil = admission disabled
 
-	tier *tier.Tier // nil = fleet tier disabled
+	tier         *tier.Tier     // nil = fleet tier disabled
+	repairer     *tier.Repairer // nil = anti-entropy repair disabled
+	repairCancel context.CancelFunc
+	repairDone   chan struct{}
 
 	sessions *sessionTable
 
@@ -288,6 +308,21 @@ func (s *Server) SetOnAdmit(hook func(admit.Event) error) {
 // normally. The daemon calls it on SIGTERM before http.Server.Shutdown.
 func (s *Server) BeginShutdown() { s.shuttingDown.Store(true) }
 
+// Close releases the server's background work: it stops the repair
+// loop (waiting for an in-flight round to notice) and unhooks the
+// process-wide simulator step tier if this server installed it. Safe
+// to call on a server without either; the daemon calls it after the
+// HTTP drain, tests via t.Cleanup.
+func (s *Server) Close() {
+	if s.repairCancel != nil {
+		s.repairCancel()
+		<-s.repairDone
+	}
+	if s.cfg.TierSimSteps {
+		sim.SetStepTier(nil)
+	}
+}
+
 // ServeHTTP implements http.Handler. The body-size limit is the first
 // middleware: it precedes admission, which precedes the deadline.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -357,10 +392,15 @@ func (s *Server) instrumented(es *endpointStats, pri admit.Priority, h http.Hand
 
 // observe wraps a read-only endpoint with counters only: observability
 // must keep answering while the compute path sheds load, so these
-// endpoints bypass admission and the deadline.
+// endpoints bypass admission and the deadline. Handlers registered
+// under the same name (the tier's GET/PUT/manifest routes) share one
+// counter pair.
 func (s *Server) observe(name string, h http.HandlerFunc) http.HandlerFunc {
-	es := &endpointStats{}
-	s.endpoints[name] = es
+	es := s.endpoints[name]
+	if es == nil {
+		es = &endpointStats{}
+		s.endpoints[name] = es
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		es.requests.Add(1)
 		s.inFlight.Add(1)
@@ -779,6 +819,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.tier != nil {
 		resp.Cache.Tier = s.cache.TierHits()
 		st := s.tier.Stats()
+		if s.repairer != nil {
+			rs := s.repairer.Stats()
+			st.Repair = &rs
+		}
 		resp.Tier = &st
 	}
 	if st := s.sessions.stats(); st != nil {

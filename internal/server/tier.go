@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"samr/internal/partition"
+	"samr/internal/sim"
 	"samr/internal/tier"
 )
 
@@ -69,6 +71,46 @@ func (at assignmentTier) Store(k CacheKey, a *partition.Assignment) {
 	at.t.Store(tierKeyOf(k), tier.EncodeAssignment(a))
 }
 
+// stepTierKeyOf derives the content-addressed fleet key for a
+// simulator step artifact. The "sim-step" prefix keeps the key space
+// disjoint from assignment keys (the codec kind byte would reject a
+// cross-read anyway); the machine model's four float64s enter the hash
+// bit-exactly.
+func stepTierKeyOf(k sim.StepTierKey) string {
+	m := k.Machine
+	return tier.Key("sim-step", k.Sig.String(), k.Partitioner, strconv.Itoa(k.NProcs),
+		strconv.FormatUint(math.Float64bits(m.CellTime), 16),
+		strconv.FormatUint(math.Float64bits(m.PointBandwidth), 16),
+		strconv.FormatUint(math.Float64bits(m.MessageLatency), 16),
+		strconv.FormatUint(math.Float64bits(m.MigrationBandwidth), 16))
+}
+
+// stepTier adapts a *tier.Tier to sim.StepTier, mirroring
+// assignmentTier: key derivation, the step-artifact codec, and the
+// corrupt-entry quarantine. Only stateless steps reach it — sim's step
+// cache never sees a postmap-wrapped partitioner.
+type stepTier struct {
+	t *tier.Tier
+}
+
+func (st stepTier) Lookup(ctx context.Context, k sim.StepTierKey) (*partition.Assignment, sim.StepMetrics, bool) {
+	key := stepTierKeyOf(k)
+	blob, ok := st.t.Lookup(ctx, key)
+	if !ok {
+		return nil, sim.StepMetrics{}, false
+	}
+	a, sm, err := tier.DecodeStepArtifact(blob)
+	if err != nil {
+		st.t.ReportCorrupt(key)
+		return nil, sim.StepMetrics{}, false
+	}
+	return a, sm, true
+}
+
+func (st stepTier) Store(k sim.StepTierKey, a *partition.Assignment, sm sim.StepMetrics) {
+	st.t.Store(stepTierKeyOf(k), tier.EncodeStepArtifact(a, sm))
+}
+
 // tierEnabled reports whether the config asks for a tier at all.
 func tierEnabled(cfg Config) bool {
 	return cfg.TierDir != "" || len(cfg.TierPeers) > 0
@@ -77,30 +119,65 @@ func tierEnabled(cfg Config) bool {
 // initTier assembles the tier from the config, hooks it under the
 // partition cache, and registers the peer protocol. Called only when
 // tierEnabled: with the tier off, the server's routes, stats body, and
-// responses are byte-identical to a tier-less build.
+// responses are byte-identical to a tier-less build. The repair layer
+// is a second opt-in: without TierRepair the manifest route is not
+// registered and no background goroutine exists, keeping a
+// repair-less fleet byte-identical to the previous release.
 func (s *Server) initTier() error {
 	t, err := tier.New(tier.Config{
 		Dir:      s.cfg.TierDir,
 		MaxBytes: s.cfg.TierMaxBytes,
 		Peers:    s.cfg.TierPeers,
 		Self:     s.cfg.TierSelf,
+		Faults:   s.cfg.Faults,
 	})
 	if err != nil {
 		return err
 	}
 	s.tier = t
 	s.cache.SetTier(assignmentTier{t: t})
+	if s.cfg.TierSimSteps {
+		sim.SetStepTier(stepTier{t: t})
+	}
 	// The peer protocol is observability-class: it must keep answering
 	// while the compute path sheds load (a shed daemon can still serve
 	// its disk store), so it bypasses admission like /v1/stats does.
 	s.mux.HandleFunc("GET /v1/tier/{key}", s.observe("tier", s.handleTierGet))
 	s.mux.HandleFunc("PUT /v1/tier/{key}", s.observe("tier", s.handleTierPut))
+	if s.cfg.TierRepair > 0 {
+		rep, err := tier.NewRepairer(t, tier.RepairConfig{
+			Interval:        s.cfg.TierRepair,
+			MaxKeysPerRound: s.cfg.TierRepairKeys,
+		})
+		if err != nil {
+			return err
+		}
+		s.repairer = rep
+		// The literal "manifest" segment outranks the {key} wildcard in
+		// the mux, and no valid key collides with it (keys are 64 hex).
+		s.mux.HandleFunc("GET /v1/tier/manifest", s.observe("tier", s.handleTierManifest))
+		ctx, cancel := context.WithCancel(context.Background())
+		s.repairCancel = cancel
+		s.repairDone = make(chan struct{})
+		go func() {
+			defer close(s.repairDone)
+			rep.Run(ctx)
+		}()
+	}
 	return nil
 }
 
 // Tier exposes the fleet tier (nil when disabled) for stats reporting
 // and tests.
 func (s *Server) Tier() *tier.Tier { return s.tier }
+
+// Repairer exposes the anti-entropy repairer (nil when repair is
+// disabled); tests drive deterministic rounds through it.
+func (s *Server) Repairer() *tier.Repairer { return s.repairer }
+
+func (s *Server) handleTierManifest(w http.ResponseWriter, r *http.Request) {
+	s.tier.ServeManifest(w)
+}
 
 func (s *Server) handleTierGet(w http.ResponseWriter, r *http.Request) {
 	s.tier.ServeGet(w, r.PathValue("key"))

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"samr/internal/sim"
 	"samr/internal/tier"
 )
 
@@ -338,6 +339,74 @@ func TestTierPeerProtocolValidates(t *testing.T) {
 	resp.Body.Close() //nolint:errcheck
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("absent key GET = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSelfHealingOffWireIdentity pins the self-healing compatibility
+// contract: with no faults and repair disabled, a healthy tier fleet's
+// stats body carries none of the new keys (failover counters, breaker
+// list, repair block) and the manifest route does not exist — the wire
+// surface is exactly the previous release's.
+func TestSelfHealingOffWireIdentity(t *testing.T) {
+	fleet := newFleet(t, 2)
+	req := PartitionRequest{Partitioner: "domain", NProcs: 8}
+	h := testHierarchy(9)
+	req.Hierarchy = &h
+	post(t, fleet[0].url+"/v1/partition", req, nil)
+	post(t, fleet[1].url+"/v1/partition", req, nil) // tier-served
+
+	for _, m := range fleet {
+		raw := string(getRaw(t, m.url+"/v1/stats"))
+		for _, key := range []string{"failover_reads", "failover_stores", "breakers", "repair"} {
+			if strings.Contains(raw, `"`+key+`"`) {
+				t.Errorf("%s: healthy repair-less stats body mentions %q: %s", m.url, key, raw)
+			}
+		}
+		resp, err := http.Get(m.url + "/v1/tier/manifest")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close() //nolint:errcheck
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: repair-less GET /v1/tier/manifest = %d, want 404", m.url, resp.StatusCode)
+		}
+	}
+}
+
+// TestSimStepTierEquivalence pins the step-spill contract: a simulation
+// whose step artifacts are served from the fleet tier is byte-identical
+// to the fresh compute, and to a tier-less run.
+func TestSimStepTierEquivalence(t *testing.T) {
+	srv, ts := newTestServer(t, Config{TierDir: t.TempDir(), TierSimSteps: true})
+	t.Cleanup(srv.Close)
+	srv.Registry().Register("synthetic", testTrace(6))
+	req := SimulateRequest{Trace: "synthetic", Partitioner: "domain", NProcs: 4, IncludeSteps: true}
+
+	r1 := post(t, ts.URL+"/v1/simulate", req, nil)
+	body1, _ := io.ReadAll(r1.Body)
+
+	// Drop the process-wide step memo: the only warm copy of every step
+	// artifact is now the tier's disk store.
+	sim.FlushStepCaches()
+	r2 := post(t, ts.URL+"/v1/simulate", req, nil)
+	body2, _ := io.ReadAll(r2.Body)
+	if string(body1) != string(body2) {
+		t.Errorf("tier-served simulation differs from fresh compute\n got: %s\nwant: %s", body2, body1)
+	}
+	if st := srv.Tier().Stats(); st.DiskHits == 0 || st.Stores == 0 {
+		t.Errorf("step artifacts never moved through the tier: %+v", st)
+	}
+
+	// A tier-less recompute agrees too: the tier moved bytes, never
+	// changed a step. Close unhooks the process-wide step tier first.
+	srv.Close()
+	sim.FlushStepCaches()
+	srv2, ts2 := newTestServer(t, Config{})
+	srv2.Registry().Register("synthetic", testTrace(6))
+	r3 := post(t, ts2.URL+"/v1/simulate", req, nil)
+	body3, _ := io.ReadAll(r3.Body)
+	if string(body1) != string(body3) {
+		t.Errorf("tier-less simulation differs from tier-backed run\n got: %s\nwant: %s", body3, body1)
 	}
 }
 

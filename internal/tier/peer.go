@@ -1,17 +1,21 @@
 package tier
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"samr/internal/backoff"
+	"samr/internal/fault"
 )
 
 // Peer protocol: GET /v1/tier/{key} answers 200 with the blob or 404
@@ -35,6 +39,8 @@ type PeerClient struct {
 	policy    backoff.Policy
 	failLimit int
 	cooldown  time.Duration
+	faults    *fault.Injector  // nil in production: zero-cost
+	now       func() time.Time // breaker clock; tests inject a fake
 
 	mu       sync.Mutex
 	breakers map[string]*breaker
@@ -45,6 +51,26 @@ type PeerClient struct {
 type breaker struct {
 	fails     int
 	openUntil time.Time
+	// halfOpen marks an admitted probe whose outcome is pending; the
+	// next report closes (success) or re-opens (failure) the breaker.
+	halfOpen bool
+}
+
+// Breaker states as exported in /v1/stats.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerState is one peer breaker's exported state.
+type BreakerState struct {
+	Peer string `json:"peer"`
+	// State is closed (healthy), open (skipping the peer), or
+	// half-open (cooldown over: the next exchange is the probe).
+	State string `json:"state"`
+	// Fails is the consecutive-failure count feeding the breaker.
+	Fails int `json:"fails"`
 }
 
 // PeerConfig tunes a PeerClient; zero values select defaults suited to
@@ -61,6 +87,9 @@ type PeerConfig struct {
 	// Cooldown is how long an open breaker skips its peer before
 	// probing again (default 5s).
 	Cooldown time.Duration
+	// Faults arms the client's injection points (tests and the -faults
+	// flag only; nil in production).
+	Faults *fault.Injector
 }
 
 // NewPeerClient builds a client from cfg.
@@ -85,6 +114,8 @@ func NewPeerClient(cfg PeerConfig) *PeerClient {
 		policy:    cfg.Retry,
 		failLimit: cfg.FailLimit,
 		cooldown:  cfg.Cooldown,
+		faults:    cfg.Faults,
+		now:       time.Now,
 		breakers:  make(map[string]*breaker),
 	}
 }
@@ -97,13 +128,24 @@ func (c *PeerClient) allowed(peer string) bool {
 	if b == nil || b.fails < c.failLimit {
 		return true
 	}
-	if time.Now().After(b.openUntil) {
+	if c.now().After(b.openUntil) {
 		// Half-open: let one probe through; a failure re-opens below.
 		b.fails = c.failLimit - 1
+		b.halfOpen = true
 		return true
 	}
 	c.skips.Add(1)
 	return false
+}
+
+// Available reports whether peer's breaker would admit a request now,
+// without consuming the half-open probe or counting a skip. The tier's
+// failover read consults it to route around an open breaker.
+func (c *PeerClient) Available(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[peer]
+	return b == nil || b.fails < c.failLimit || c.now().After(b.openUntil)
 }
 
 // report records an exchange outcome for peer's breaker.
@@ -115,15 +157,35 @@ func (c *PeerClient) report(peer string, ok bool) {
 		b = &breaker{}
 		c.breakers[peer] = b
 	}
+	b.halfOpen = false
 	if ok {
 		b.fails = 0
 		return
 	}
 	b.fails++
 	if b.fails >= c.failLimit {
-		b.openUntil = time.Now().Add(c.cooldown)
+		b.openUntil = c.now().Add(c.cooldown)
 		c.failures.Add(1)
 	}
+}
+
+// BreakerStates snapshots every known peer breaker, sorted by peer.
+func (c *PeerClient) BreakerStates() []BreakerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]BreakerState, 0, len(c.breakers))
+	for peer, b := range c.breakers {
+		state := BreakerClosed
+		switch {
+		case b.fails >= c.failLimit && c.now().Before(b.openUntil):
+			state = BreakerOpen
+		case b.fails >= c.failLimit || b.halfOpen:
+			state = BreakerHalfOpen
+		}
+		out = append(out, BreakerState{Peer: peer, State: state, Fails: b.fails})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
 }
 
 // retryAfter reads a response's Retry-After seconds (0 if absent).
@@ -141,6 +203,14 @@ func (c *PeerClient) Get(ctx context.Context, peer, key string) ([]byte, bool) {
 		return nil, false
 	}
 	c.gets.Add(1)
+	d := c.faults.Hit(FaultPeerGet)
+	d.Sleep()
+	if d.Err != nil {
+		// An injected transport failure: no request is sent, the
+		// breaker sees a failure, the caller sees a miss.
+		c.report(peer, false)
+		return nil, false
+	}
 	var blob []byte
 	err := backoff.Retry(ctx, c.policy, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/tier/"+key, nil)
@@ -167,6 +237,11 @@ func (c *PeerClient) Get(ctx context.Context, peer, key string) ([]byte, bool) {
 	switch err {
 	case nil:
 		c.report(peer, true)
+		if d.Corrupt {
+			// The fetched blob is this call's private copy; damage
+			// simulates on-the-wire corruption (the decoder quarantines).
+			fault.Damage(blob)
+		}
 		return blob, true
 	case errMiss:
 		c.report(peer, true)
@@ -188,6 +263,17 @@ func (c *PeerClient) Put(ctx context.Context, peer, key string, blob []byte) boo
 		return false
 	}
 	c.puts.Add(1)
+	d := c.faults.Hit(FaultPeerPut)
+	d.Sleep()
+	if d.Err != nil {
+		c.report(peer, false)
+		return false
+	}
+	if d.Corrupt {
+		// Damage a private copy: the caller's blob may also back the
+		// local disk entry.
+		blob = fault.Damage(append([]byte(nil), blob...))
+	}
 	err := backoff.Retry(ctx, c.policy, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+"/v1/tier/"+key, bytes.NewReader(blob))
 		if err != nil {
@@ -211,4 +297,59 @@ func (c *PeerClient) Put(ctx context.Context, peer, key string, blob []byte) boo
 	})
 	c.report(peer, err == nil)
 	return err == nil
+}
+
+// maxManifestBytes bounds a manifest read: 16 MiB holds ~250k keys,
+// far beyond any bounded disk store.
+const maxManifestBytes = 16 << 20
+
+// Manifest fetches peer's resident key list (GET /v1/tier/manifest):
+// one key per line, invalid lines dropped. A peer without the route —
+// repair disabled there, or an older build — reports an empty manifest
+// (the peer is healthy; it just shares nothing), like 404 on Get.
+func (c *PeerClient) Manifest(ctx context.Context, peer string) ([]string, bool) {
+	if !c.allowed(peer) {
+		return nil, false
+	}
+	d := c.faults.Hit(FaultPeerManifest)
+	d.Sleep()
+	if d.Err != nil {
+		c.report(peer, false)
+		return nil, false
+	}
+	var keys []string
+	err := backoff.Retry(ctx, c.policy, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/tier/manifest", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return backoff.Retryable(err)
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			keys = keys[:0]
+			sc := bufio.NewScanner(io.LimitReader(resp.Body, maxManifestBytes))
+			for sc.Scan() {
+				if key := strings.TrimSpace(sc.Text()); validKey(key) {
+					keys = append(keys, key)
+				}
+			}
+			return sc.Err()
+		case resp.StatusCode == http.StatusNotFound:
+			keys = keys[:0]
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			return backoff.RetryableAfter(fmt.Errorf("tier: peer %s: %s", peer, resp.Status), retryAfter(resp))
+		default:
+			return fmt.Errorf("tier: peer %s: %s", peer, resp.Status)
+		}
+	})
+	c.report(peer, err == nil)
+	if err != nil {
+		return nil, false
+	}
+	return keys, true
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -90,6 +91,35 @@ func TestPeerClientHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// fakeClock is the injectable breaker clock: tests advance it instead
+// of sleeping through cooldowns.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// breakerStateOf returns peer's exported breaker state string.
+func breakerStateOf(c *PeerClient, peer string) string {
+	for _, b := range c.BreakerStates() {
+		if b.Peer == peer {
+			return b.State
+		}
+	}
+	return ""
+}
+
 func TestPeerClientBreakerOpensAndRecovers(t *testing.T) {
 	var fail atomic.Bool
 	fail.Store(true)
@@ -104,6 +134,8 @@ func TestPeerClientBreakerOpensAndRecovers(t *testing.T) {
 	}))
 	defer ts.Close()
 	c := fastPeer() // FailLimit 2, Cooldown 50ms
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = clk.Now
 
 	// Two failing exchanges open the breaker (500 is terminal: one
 	// request each).
@@ -111,6 +143,9 @@ func TestPeerClientBreakerOpensAndRecovers(t *testing.T) {
 		if _, ok := c.Get(bg, ts.URL, Key("a")); ok {
 			t.Fatal("failing peer reported a hit")
 		}
+	}
+	if got := breakerStateOf(c, ts.URL); got != BreakerOpen {
+		t.Fatalf("state after %d failures = %q, want open", 2, got)
 	}
 	seen := calls.Load()
 	// Open breaker: no request reaches the peer.
@@ -123,16 +158,81 @@ func TestPeerClientBreakerOpensAndRecovers(t *testing.T) {
 	if c.skips.Load() == 0 {
 		t.Fatal("breaker skip not counted")
 	}
+	if c.Available(ts.URL) {
+		t.Fatal("open breaker reported available")
+	}
 
-	// After cooldown a probe goes through and a healthy peer closes
-	// the breaker again.
+	// Cooldown elapses on the fake clock: the breaker is half-open (the
+	// next exchange is the probe) and a healthy probe closes it.
 	fail.Store(false)
-	time.Sleep(60 * time.Millisecond)
+	clk.Advance(60 * time.Millisecond)
+	if got := breakerStateOf(c, ts.URL); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %q, want half-open", got)
+	}
+	if !c.Available(ts.URL) {
+		t.Fatal("half-open breaker reported unavailable")
+	}
 	if got, ok := c.Get(bg, ts.URL, Key("a")); !ok || string(got) != "recovered" {
 		t.Fatalf("post-cooldown probe = (%q, %v)", got, ok)
 	}
+	if got := breakerStateOf(c, ts.URL); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %q, want closed", got)
+	}
 	if got, ok := c.Get(bg, ts.URL, Key("a")); !ok || string(got) != "recovered" {
 		t.Fatalf("closed breaker = (%q, %v)", got, ok)
+	}
+}
+
+func TestPeerClientBreakerFailedProbeReopens(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := fastPeer() // FailLimit 2, Cooldown 50ms
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = clk.Now
+
+	for i := 0; i < 2; i++ {
+		c.Get(bg, ts.URL, Key("a"))
+	}
+	if got := breakerStateOf(c, ts.URL); got != BreakerOpen {
+		t.Fatalf("state = %q, want open", got)
+	}
+
+	// The cooldown elapses, the probe goes through — and fails, so the
+	// breaker re-opens for a fresh cooldown without further traffic.
+	clk.Advance(60 * time.Millisecond)
+	seen := calls.Load()
+	if _, ok := c.Get(bg, ts.URL, Key("a")); ok {
+		t.Fatal("failing probe reported a hit")
+	}
+	if calls.Load() == seen {
+		t.Fatal("probe never reached the peer")
+	}
+	if got := breakerStateOf(c, ts.URL); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %q, want open", got)
+	}
+	seen = calls.Load()
+	if _, ok := c.Get(bg, ts.URL, Key("a")); ok || calls.Load() != seen {
+		t.Fatal("re-opened breaker let a request through")
+	}
+
+	// Available is a read-only view: it neither consumes the probe nor
+	// counts skips.
+	clk.Advance(60 * time.Millisecond)
+	skips := c.skips.Load()
+	for i := 0; i < 3; i++ {
+		if !c.Available(ts.URL) {
+			t.Fatal("cooled-down breaker reported unavailable")
+		}
+	}
+	if c.skips.Load() != skips {
+		t.Fatal("Available counted a skip")
+	}
+	if got := breakerStateOf(c, ts.URL); got != BreakerHalfOpen {
+		t.Fatalf("state after Available calls = %q, want half-open", got)
 	}
 }
 

@@ -1,0 +1,201 @@
+package tier
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Anti-entropy repair: a rejoined or wiped fleet member pulls the keys
+// it owns under rendezvous hashing back from its peers, so its shard
+// warms from the fleet instead of from recomputes. Each round asks
+// every available peer for its key manifest (GET /v1/tier/manifest),
+// diffs the owned keys against the local disk store, and pulls the
+// missing ones over the existing peer-GET protocol — verified against
+// the sealed-envelope codec before landing on disk, bounded per round
+// in both keys and bytes so a cold member never floods the fleet.
+// Repair is pull-only and idempotent: running it on a warm member is a
+// manifest exchange and nothing else.
+
+// RepairConfig tunes a Repairer; zero values select the defaults.
+type RepairConfig struct {
+	// Interval is the period of Run's repair rounds (default 30s).
+	Interval time.Duration
+	// MaxKeysPerRound bounds keys pulled per round (default 256).
+	MaxKeysPerRound int
+	// MaxBytesPerRound bounds bytes pulled per round (default 64 MiB).
+	MaxBytesPerRound int64
+}
+
+// RepairStats is the repair loop's cumulative accounting, shaped for
+// /v1/stats.
+type RepairStats struct {
+	// Rounds counts completed repair rounds.
+	Rounds uint64 `json:"rounds"`
+	// KeysPulled/BytesPulled count entries backfilled from peers.
+	KeysPulled  uint64 `json:"keys_pulled"`
+	BytesPulled uint64 `json:"bytes_pulled"`
+	// Failures counts manifest fetches, pulls, verifications, and
+	// stores that did not complete (each retried next round).
+	Failures uint64 `json:"failures"`
+	// Missing is the last round's remaining owned-key deficit — keys
+	// peers hold for this member that are not yet local. A converged
+	// member reads 0; operators watch it fall after a rejoin.
+	Missing int `json:"missing"`
+}
+
+// Repairer drives anti-entropy rounds for one Tier. Methods are safe
+// for concurrent use; rounds themselves run one at a time per caller
+// (Run is the usual driver, tests call Round directly).
+type Repairer struct {
+	t   *Tier
+	cfg RepairConfig
+
+	rounds, keysPulled, bytesPulled, failures atomic.Uint64
+	missing                                   atomic.Int64
+}
+
+// NewRepairer builds a repairer over t, which must have all three of a
+// disk store, a peer ring with Self set, and a peer client — repair is
+// meaningless without a place to land keys, an identity that owns
+// them, and peers to pull from.
+func NewRepairer(t *Tier, cfg RepairConfig) (*Repairer, error) {
+	if t == nil || t.disk == nil || t.ring == nil || t.client == nil {
+		return nil, fmt.Errorf("tier: repair needs a disk store and a peer ring")
+	}
+	if t.ring.Self() == "" {
+		return nil, fmt.Errorf("tier: repair needs Self set (whose keys would it pull?)")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.MaxKeysPerRound <= 0 {
+		cfg.MaxKeysPerRound = 256
+	}
+	if cfg.MaxBytesPerRound <= 0 {
+		cfg.MaxBytesPerRound = 64 << 20
+	}
+	return &Repairer{t: t, cfg: cfg}, nil
+}
+
+// Interval returns the configured round period.
+func (r *Repairer) Interval() time.Duration { return r.cfg.Interval }
+
+// Round performs one bounded repair pass and returns the number of
+// keys pulled. Keys past the round's key/byte bounds (and failed
+// pulls) are left for the next round and counted in the Missing gauge.
+func (r *Repairer) Round(ctx context.Context) int {
+	pulled := 0
+	var pulledBytes int64
+	missing := 0
+	seen := make(map[string]bool)
+	self := r.t.ring.Self()
+	for _, peer := range r.t.ring.Peers() {
+		if peer == self || ctx.Err() != nil {
+			continue
+		}
+		if !r.t.client.Available(peer) {
+			continue
+		}
+		keys, ok := r.t.client.Manifest(ctx, peer)
+		if !ok {
+			r.failures.Add(1)
+			continue
+		}
+		for _, key := range keys {
+			if seen[key] || !r.t.ring.OwnedBySelf(key) || r.t.disk.Has(key) {
+				continue
+			}
+			seen[key] = true
+			if pulled >= r.cfg.MaxKeysPerRound || pulledBytes >= r.cfg.MaxBytesPerRound || ctx.Err() != nil {
+				missing++
+				continue
+			}
+			blob, ok := r.t.client.Get(ctx, peer, key)
+			if !ok {
+				r.failures.Add(1)
+				missing++
+				continue
+			}
+			// The same envelope gate as ServePut: a damaged pull never
+			// lands on disk (and is retried from the fleet next round).
+			if _, _, err := Open(blob); err != nil {
+				r.failures.Add(1)
+				missing++
+				continue
+			}
+			if err := r.t.disk.Put(key, blob); err != nil {
+				r.failures.Add(1)
+				missing++
+				continue
+			}
+			pulled++
+			pulledBytes += int64(len(blob))
+		}
+	}
+	r.rounds.Add(1)
+	r.keysPulled.Add(uint64(pulled))
+	r.bytesPulled.Add(uint64(pulledBytes))
+	r.missing.Store(int64(missing))
+	return pulled
+}
+
+// Missing returns the current owned-key deficit — every key some
+// available peer holds that this member owns but lacks locally —
+// sorted and deduped. The chaos suite asserts it converges to empty;
+// it never pulls anything.
+func (r *Repairer) Missing(ctx context.Context) []string {
+	seen := make(map[string]bool)
+	self := r.t.ring.Self()
+	for _, peer := range r.t.ring.Peers() {
+		if peer == self || !r.t.client.Available(peer) {
+			continue
+		}
+		keys, ok := r.t.client.Manifest(ctx, peer)
+		if !ok {
+			continue
+		}
+		for _, key := range keys {
+			if !seen[key] && r.t.ring.OwnedBySelf(key) && !r.t.disk.Has(key) {
+				seen[key] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for key := range seen {
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run repairs every Interval until ctx is cancelled. The first round
+// runs after one full interval — a daemon joining a fleet that is
+// still starting up should not race its peers' listeners — so a
+// rejoined member converges within Interval plus a bounded number of
+// rounds.
+func (r *Repairer) Run(ctx context.Context) {
+	ticker := time.NewTicker(r.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			r.Round(ctx)
+		}
+	}
+}
+
+// Stats snapshots the repairer.
+func (r *Repairer) Stats() RepairStats {
+	return RepairStats{
+		Rounds:      r.rounds.Load(),
+		KeysPulled:  r.keysPulled.Load(),
+		BytesPulled: r.bytesPulled.Load(),
+		Failures:    r.failures.Load(),
+		Missing:     int(r.missing.Load()),
+	}
+}

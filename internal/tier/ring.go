@@ -68,6 +68,37 @@ func (r *Ring) Owner(key string) string {
 	return best
 }
 
+// Ranked returns every ring member ordered by descending rendezvous
+// score for key — the owner first, then each successive failover
+// candidate. Every member computes the identical order, so a failover
+// read lands on the same stand-in fleet-wide. Ties (a 64-bit hash
+// collision, effectively never) break by peer name for determinism.
+func (r *Ring) Ranked(key string) []string {
+	type scored struct {
+		peer  string
+		score uint64
+	}
+	ss := make([]scored, len(r.peers))
+	for i, p := range r.peers {
+		h := fnv.New64a()
+		h.Write([]byte(p))   //nolint:errcheck
+		h.Write([]byte{0})   //nolint:errcheck
+		h.Write([]byte(key)) //nolint:errcheck
+		ss[i] = scored{peer: p, score: h.Sum64()}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].peer < ss[j].peer
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.peer
+	}
+	return out
+}
+
 // OwnedBySelf reports whether this process owns key (false when self
 // is unset).
 func (r *Ring) OwnedBySelf(key string) bool {

@@ -103,6 +103,40 @@ func TestRingSelfShortCircuit(t *testing.T) {
 	}
 }
 
+// TestRingRanked pins the failover order's contract: the owner leads,
+// the order is a permutation of the peer set, and every member computes
+// the identical order (it is a pure function of the key).
+func TestRingRanked(t *testing.T) {
+	peers := peerSet(5)
+	r := NewRing("", peers)
+	other := NewRing(peers[0], append([]string{}, peers...)) // different self, same set
+	for i := 0; i < 300; i++ {
+		key := Key(fmt.Sprint(i))
+		ranked := r.Ranked(key)
+		if len(ranked) != len(peers) {
+			t.Fatalf("Ranked returned %d peers, want %d", len(ranked), len(peers))
+		}
+		if ranked[0] != r.Owner(key) {
+			t.Fatalf("key %d: Ranked[0] = %s, Owner = %s", i, ranked[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, p := range ranked {
+			if seen[p] {
+				t.Fatalf("key %d: peer %s ranked twice", i, p)
+			}
+			seen[p] = true
+		}
+		for j, p := range other.Ranked(key) {
+			if ranked[j] != p {
+				t.Fatalf("key %d: rank %d differs across members", i, j)
+			}
+		}
+	}
+	if got := NewRing("", nil).Ranked(Key("x")); len(got) != 0 {
+		t.Fatalf("empty ring Ranked = %v", got)
+	}
+}
+
 func TestEmptyRing(t *testing.T) {
 	r := NewRing("", nil)
 	if r.Owner(Key("x")) != "" {

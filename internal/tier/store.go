@@ -9,6 +9,26 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"samr/internal/fault"
+)
+
+// Injection points of the fleet tier, armed only by tests and the
+// -faults flag (production runs carry a nil injector).
+const (
+	// FaultDiskGet covers DiskStore.Get: error (read failure) and
+	// corrupt (a damaged resident blob) decisions apply.
+	FaultDiskGet = "disk.get"
+	// FaultDiskPut covers DiskStore.Put: an error decision (typically
+	// enospc) fails the write before it starts.
+	FaultDiskPut = "disk.put"
+	// FaultPeerGet / FaultPeerPut / FaultPeerManifest cover the
+	// corresponding PeerClient exchanges; an error decision counts as a
+	// transport failure (feeding the breaker) without touching the
+	// network, and a corrupt decision damages a fetched blob.
+	FaultPeerGet      = "peer.get"
+	FaultPeerPut      = "peer.put"
+	FaultPeerManifest = "peer.manifest"
 )
 
 // suffix marks tier entries on disk; anything else in the directory is
@@ -29,6 +49,7 @@ const suffix = ".tier"
 type DiskStore struct {
 	dir      string
 	maxBytes int64
+	faults   *fault.Injector // nil in production: zero-cost
 
 	mu    sync.Mutex
 	bytes int64 // resident entry bytes, maintained incrementally
@@ -55,12 +76,29 @@ func OpenDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
 	s := &DiskStore{dir: dir, maxBytes: maxBytes}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// A leftover put-*.tmp is an interrupted write from a crashed
+	// daemon. The rename is the commit point, so such a file was never
+	// an entry — the warm-restart rescan deletes it and never decodes
+	// it (entriesLocked already ignores anything without the entry
+	// suffix).
+	if des, err := os.ReadDir(dir); err == nil {
+		for _, de := range des {
+			name := de.Name()
+			if !de.IsDir() && strings.HasPrefix(name, "put-") && strings.HasSuffix(name, ".tmp") {
+				os.Remove(filepath.Join(dir, name)) //nolint:errcheck
+			}
+		}
+	}
 	for _, e := range s.entriesLocked() {
 		s.bytes += e.size
 	}
 	s.evictLocked("")
 	return s, nil
 }
+
+// SetFaults arms the store's injection points (tests and the -faults
+// flag only); it must be called before the store sees concurrent use.
+func (s *DiskStore) SetFaults(in *fault.Injector) { s.faults = in }
 
 // Dir returns the store's directory.
 func (s *DiskStore) Dir() string { return s.dir }
@@ -90,12 +128,23 @@ func (s *DiskStore) Get(key string) ([]byte, bool) {
 	if !validKey(key) {
 		return nil, false
 	}
+	d := s.faults.Hit(FaultDiskGet)
+	d.Sleep()
+	if d.Err != nil {
+		s.errors.Add(1)
+		return nil, false
+	}
 	blob, err := os.ReadFile(s.path(key))
 	if err != nil {
 		if !os.IsNotExist(err) {
 			s.errors.Add(1)
 		}
 		return nil, false
+	}
+	if d.Corrupt {
+		// ReadFile returned a private copy; damaging it simulates a
+		// torn or bit-rotted resident entry without touching the file.
+		fault.Damage(blob)
 	}
 	now := time.Now()
 	os.Chtimes(s.path(key), now, now) //nolint:errcheck // LRU hint only
@@ -109,6 +158,13 @@ func (s *DiskStore) Get(key string) ([]byte, bool) {
 func (s *DiskStore) Put(key string, blob []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("tier: invalid key %q", key)
+	}
+	if d := s.faults.Hit(FaultDiskPut); d.Err != nil || d.Delay > 0 {
+		d.Sleep()
+		if d.Err != nil {
+			s.errors.Add(1)
+			return fmt.Errorf("tier: %w", d.Err)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -218,6 +274,30 @@ func (s *DiskStore) evictLocked(keep string) {
 			s.evictions.Add(1)
 		}
 	}
+}
+
+// Keys lists the resident entry keys, sorted; the anti-entropy
+// manifest is served from it.
+func (s *DiskStore) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.entriesLocked()
+	keys := make([]string, 0, len(entries))
+	for _, e := range entries {
+		keys = append(keys, e.key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Has reports whether key is resident, without reading the blob or
+// touching its LRU clock (the repair loop's membership probe).
+func (s *DiskStore) Has(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	_, err := os.Stat(s.path(key))
+	return err == nil
 }
 
 // Len returns the number of resident entries.

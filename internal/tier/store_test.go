@@ -2,11 +2,16 @@ package tier
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
+
+	"samr/internal/fault"
 )
 
 // k returns a distinct valid tier key per index.
@@ -170,6 +175,123 @@ func TestDiskStoreReopenEnforcesBound(t *testing.T) {
 	if _, ok := s2.Get(k(4)); !ok {
 		t.Fatal("newest entry evicted on reopen")
 	}
+}
+
+// TestDiskStoreCleansCrashedPutTemp pins the crash-window contract: a
+// put-*.tmp left by a daemon killed mid-Put (before the rename commit
+// point) is never surfaced as an entry and is removed by the
+// warm-restart rescan.
+func TestDiskStoreCleansCrashedPutTemp(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "put-1234567.tmp")
+	if err := os.WriteFile(tmp, []byte("torn half-written blob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, k(1)+suffix), []byte("committed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenDiskStore(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("crashed put temp file survived the warm-restart rescan")
+	}
+	if s.Len() != 1 || s.Bytes() != int64(len("committed")) {
+		t.Fatalf("occupancy = (%d, %d), want only the committed entry", s.Len(), s.Bytes())
+	}
+	if keys := s.Keys(); len(keys) != 1 || keys[0] != k(1) {
+		t.Fatalf("Keys = %v, want only %s", keys, k(1))
+	}
+}
+
+func TestDiskStoreKeysAndHas(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(3); i > 0; i-- { // insertion order != sorted order
+		if err := s.Put(k(i), []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || !sort.StringsAreSorted(keys) {
+		t.Fatalf("Keys = %v, want 3 sorted keys", keys)
+	}
+	if !s.Has(k(1)) || s.Has(k(9)) || s.Has("not-a-key") {
+		t.Fatal("Has disagrees with residency")
+	}
+}
+
+func TestDiskStoreInjectedFaults(t *testing.T) {
+	blob := []byte("resident blob bytes")
+
+	t.Run("put enospc", func(t *testing.T) {
+		in, err := fault.New(1, fault.Plan{Point: FaultDiskPut, Mode: fault.NoSpace})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenDiskStore(t.TempDir(), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetFaults(in)
+		err = s.Put(k(1), blob)
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("Put error = %v, want ENOSPC", err)
+		}
+		if s.Has(k(1)) || s.errors.Load() == 0 {
+			t.Fatal("failed put landed an entry or went uncounted")
+		}
+	})
+
+	t.Run("get error", func(t *testing.T) {
+		in, err := fault.New(1, fault.Plan{Point: FaultDiskGet, Mode: fault.Error})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenDiskStore(t.TempDir(), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(k(1), blob); err != nil {
+			t.Fatal(err)
+		}
+		s.SetFaults(in)
+		if _, ok := s.Get(k(1)); ok {
+			t.Fatal("injected read failure still reported a hit")
+		}
+		if s.errors.Load() == 0 {
+			t.Fatal("injected read failure went uncounted")
+		}
+	})
+
+	t.Run("get corrupt", func(t *testing.T) {
+		in, err := fault.New(1, fault.Plan{Point: FaultDiskGet, Mode: fault.Corrupt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		s, err := OpenDiskStore(dir, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(k(1), blob); err != nil {
+			t.Fatal(err)
+		}
+		s.SetFaults(in)
+		got, ok := s.Get(k(1))
+		if !ok || len(got) != len(blob) || bytes.Equal(got, blob) {
+			t.Fatalf("corrupt Get = (%q, %v), want same-length damaged blob", got, ok)
+		}
+		// The damage is to the returned copy only: the resident file is
+		// untouched (a fault-free reader still sees the good bytes).
+		raw, err := os.ReadFile(filepath.Join(dir, k(1)+suffix))
+		if err != nil || !bytes.Equal(raw, blob) {
+			t.Fatalf("resident file changed: (%q, %v)", raw, err)
+		}
+	})
 }
 
 func TestDiskStoreIgnoresForeignFiles(t *testing.T) {

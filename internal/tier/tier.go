@@ -4,9 +4,12 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"samr/internal/fault"
 )
 
 // keyLen is the length of every tier key: lowercase hex sha256.
@@ -55,6 +58,9 @@ type Config struct {
 	// StoreTimeout bounds the background peer offer of one stored
 	// value (default 5s).
 	StoreTimeout time.Duration
+	// Faults arms the tier's injection points — disk store and peer
+	// client — for chaos testing (nil in production: zero-cost).
+	Faults *fault.Injector
 }
 
 // Tier is the composed second-level cache: a disk store consulted
@@ -70,6 +76,7 @@ type Tier struct {
 
 	lookups, diskHits, peerHits, misses atomic.Uint64
 	stores, storeErrors, corrupt        atomic.Uint64
+	failoverReads, failoverStores       atomic.Uint64
 }
 
 // New assembles a tier from cfg.
@@ -83,10 +90,15 @@ func New(cfg Config) (*Tier, error) {
 		if t.disk, err = OpenDiskStore(cfg.Dir, cfg.MaxBytes); err != nil {
 			return nil, err
 		}
+		t.disk.SetFaults(cfg.Faults)
 	}
 	if len(cfg.Peers) > 0 {
 		t.ring = NewRing(cfg.Self, cfg.Peers)
-		t.client = NewPeerClient(cfg.Peer)
+		pc := cfg.Peer
+		if pc.Faults == nil {
+			pc.Faults = cfg.Faults
+		}
+		t.client = NewPeerClient(pc)
 	}
 	return t, nil
 }
@@ -98,11 +110,38 @@ func (t *Tier) Disk() *DiskStore { return t.disk }
 // Ring returns the peer ring (nil when the peer level is disabled).
 func (t *Tier) Ring() *Ring { return t.ring }
 
+// peerFor picks the single peer to consult for key: the ring owner
+// while its breaker admits traffic, otherwise the next available peer
+// in rendezvous order (the failover target — one hop, no cascading).
+// Self never appears (its disk store is consulted directly), and ""
+// means no peer is worth asking. Breaker state thus feeds the ring:
+// an open owner degrades its shard to the fleet-wide stand-in that
+// every member computes identically, and repair backfills the owner
+// when it returns.
+func (t *Tier) peerFor(key string) (peer string, failover bool) {
+	self := t.ring.Self()
+	owner := t.ring.Owner(key)
+	if owner == "" || owner == self {
+		return "", false
+	}
+	if t.client.Available(owner) {
+		return owner, false
+	}
+	for _, p := range t.ring.Ranked(key)[1:] {
+		if p == self || !t.client.Available(p) {
+			continue
+		}
+		return p, true
+	}
+	return "", false
+}
+
 // Lookup returns the blob for key from the nearest level that has it:
-// the local disk store, then the key's ring owner (skipped when this
-// daemon is the owner — its disk store already answered). A
-// peer-served blob is written through to the local disk so the next
-// lookup stays local.
+// the local disk store, then the key's ring owner — or, when the
+// owner's breaker is open, the next peer in rendezvous order (a
+// failover read; still exactly one peer consultation). A peer-served
+// blob is written through to the local disk so the next lookup stays
+// local.
 func (t *Tier) Lookup(ctx context.Context, key string) ([]byte, bool) {
 	t.lookups.Add(1)
 	if t.disk != nil {
@@ -111,9 +150,12 @@ func (t *Tier) Lookup(ctx context.Context, key string) ([]byte, bool) {
 			return blob, true
 		}
 	}
-	if t.ring != nil && !t.ring.OwnedBySelf(key) {
-		if owner := t.ring.Owner(key); owner != "" && owner != t.ring.Self() {
-			if blob, ok := t.client.Get(ctx, owner, key); ok {
+	if t.ring != nil && t.client != nil {
+		if peer, failover := t.peerFor(key); peer != "" {
+			if failover {
+				t.failoverReads.Add(1)
+			}
+			if blob, ok := t.client.Get(ctx, peer, key); ok {
 				t.peerHits.Add(1)
 				if t.disk != nil {
 					t.disk.Put(key, blob) //nolint:errcheck // write-through is best-effort
@@ -139,11 +181,17 @@ func (t *Tier) Store(key string, blob []byte) {
 		}
 	}
 	// A self-owned key needs no offer: the local disk write above is
-	// where the fleet will look for it.
-	if t.ring != nil {
-		if owner := t.ring.Owner(key); owner != "" && owner != t.ring.Self() {
+	// where the fleet will look for it. An open owner breaker diverts
+	// the offer to the owner's rendezvous stand-in — the same peer
+	// failover reads consult — so the result stays reachable until
+	// repair backfills the owner.
+	if t.ring != nil && t.client != nil {
+		if peer, failover := t.peerFor(key); peer != "" {
+			if failover {
+				t.failoverStores.Add(1)
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), t.storeTimeout)
-			if t.client.Put(ctx, owner, key, blob) {
+			if t.client.Put(ctx, peer, key, blob) {
 				ok = true
 			}
 			cancel()
@@ -191,6 +239,18 @@ type Stats struct {
 	DiskBytes     int64  `json:"disk_bytes"`
 	DiskMaxBytes  int64  `json:"disk_max_bytes"`
 	DiskEvictions uint64 `json:"disk_evictions"`
+	// Self-healing accounting, all omitted while zero/absent so a
+	// healthy fleet's stats body is byte-identical to a build without
+	// the repair layer. FailoverReads/FailoverStores count exchanges
+	// diverted past an open owner breaker to its rendezvous stand-in.
+	FailoverReads  uint64 `json:"failover_reads,omitempty"`
+	FailoverStores uint64 `json:"failover_stores,omitempty"`
+	// Breakers lists only non-trivial peer breakers (open, half-open,
+	// or accumulating failures); a healthy fleet exports none.
+	Breakers []BreakerState `json:"breakers,omitempty"`
+	// Repair is the anti-entropy loop's accounting (nil when repair is
+	// disabled); internal/server fills it in.
+	Repair *RepairStats `json:"repair,omitempty"`
 }
 
 // Stats snapshots the tier.
@@ -204,11 +264,18 @@ func (t *Tier) Stats() Stats {
 		StoreErrors: t.storeErrors.Load(),
 		Corrupt:     t.corrupt.Load(),
 	}
+	st.FailoverReads = t.failoverReads.Load()
+	st.FailoverStores = t.failoverStores.Load()
 	if t.client != nil {
 		st.PeerGets = t.client.gets.Load()
 		st.PeerPuts = t.client.puts.Load()
 		st.PeerFailures = t.client.failures.Load()
 		st.BreakerSkips = t.client.skips.Load()
+		for _, b := range t.client.BreakerStates() {
+			if b.State != BreakerClosed || b.Fails > 0 {
+				st.Breakers = append(st.Breakers, b)
+			}
+		}
 	}
 	if t.ring != nil {
 		st.Peers = len(t.ring.Peers())
@@ -238,6 +305,26 @@ func (t *Tier) ServeGet(w http.ResponseWriter, key string) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(blob) //nolint:errcheck
 }
+
+// ServeManifest is the anti-entropy read handler body: it answers the
+// disk store's resident key list as text/plain, one key per line,
+// sorted. internal/server routes GET /v1/tier/manifest here when
+// repair is enabled.
+func (t *Tier) ServeManifest(w http.ResponseWriter) {
+	if t.disk == nil {
+		http.Error(w, "no disk store", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, key := range t.disk.Keys() {
+		io.WriteString(w, key)  //nolint:errcheck
+		io.WriteString(w, "\n") //nolint:errcheck
+	}
+}
+
+// Client returns the peer client (nil when the peer level is
+// disabled); the repairer and tests reach breaker state through it.
+func (t *Tier) Client() *PeerClient { return t.client }
 
 // ServePut is the peer-protocol write handler body: it verifies the
 // blob envelope (magic, version, checksum — garbage is rejected before
