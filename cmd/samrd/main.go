@@ -211,10 +211,15 @@
 // rendezvous hashing from its peers (checksum-verified, bounded per
 // round by -tier-repair-keys), so a wiped or rejoined member converges
 // back to a warm shard within interval-plus-a-few-rounds instead of
-// serving cold forever. Repair is pull-only and idempotent; enable it
-// fleet-wide (a member without the flag still answers probes but
-// serves no manifest). With the flag unset nothing changes: no route,
-// no goroutine, stats byte-identical to a repair-less build.
+// serving cold forever. Manifests are fetched as deltas in the steady
+// state: the manifest endpoint accepts ?since=<generation> (the
+// store's write-generation counter, echoed in X-Samr-Manifest-Gen) and
+// answers only the keys written after that cursor; the full list
+// remains the fallback for first contact, an unparsable cursor, or a
+// peer whose store restarted. Repair is pull-only and idempotent;
+// enable it fleet-wide (a member without the flag still answers probes
+// but serves no manifest). With the flag unset nothing changes: no
+// route, no goroutine, stats byte-identical to a repair-less build.
 //
 // Operators watch the self-healing layer in /v1/stats under "tier":
 // "breakers" lists non-closed peer breakers (state and consecutive
@@ -225,16 +230,55 @@
 // rejoined member finishing convergence. All of these are omitted
 // while zero, so a healthy fleet's stats are unchanged.
 //
+// # Session durability and failover
+//
+// By default a streaming session lives only in the memory of the
+// daemon that created it: if that daemon dies, the client's next step
+// gets 410 and re-creates elsewhere. -tier-sessions (requires the
+// fleet tier) makes sessions fleet-resumable: after every committed
+// step the daemon writes a sealed snapshot of the session — hierarchy,
+// incremental signature state, partitioner spec, processor count, and
+// any carried postmap history — through the tier's store/offer path,
+// keyed by the session token, so the snapshot lands on the token's
+// rendezvous owner as well as the local disk store.
+//
+//	samrd ... -tier-dir /var/cache/samr-a -tier-peers ... -tier-self ... -tier-sessions
+//
+// A daemon receiving a step (or delete) for a token it does not hold
+// then consults the tier before answering 410: on a snapshot hit it
+// rebuilds the session — re-validating the hierarchy and re-deriving
+// the signature state, which must match the snapshot byte-for-byte —
+// and serves the request under the same token, marking the response
+// with X-Samr-Session-Resumed: 1. Kill a fleet member mid-stream and
+// the client's next step lands on a peer and succeeds with the same
+// body the dead owner would have sent; postmap sessions carry their
+// mapping history across the failover.
+//
+// The soft-state guarantee is unchanged: sessions are never durable
+// state the fleet promises to keep. A tier miss (snapshot evicted,
+// owner also dead, write lost) still answers 410 session-expired and
+// the client re-creates from its full state — -tier-sessions only
+// makes that recovery path rare, it never removes it. Corrupt or
+// inconsistent snapshots are quarantined and count as misses.
+// Resume traffic appears in /v1/stats under "sessions" as "resumed"
+// and "resume_misses", distinct from "created" (creates count client
+// uploads, resumes count failovers). With the flag off, every route,
+// header, and stats body is byte-identical to a build without durable
+// sessions.
+//
 // For chaos drills only, -faults arms deterministic fault injection
-// inside the tier (never on the client-facing path), e.g.
+// on the non-client-facing paths, e.g.
 //
 //	samrd ... -faults 'disk.put:enospc:every=7;peer.get:latency:delay=20ms,prob=0.1' -fault-seed 7
 //
-// Points: disk.get, disk.put, peer.get, peer.put, peer.manifest; modes
-// error, latency, corrupt, enospc, scheduled by every/after/count/prob
-// and derived purely from -fault-seed (same seed, same schedule). The
-// contract under any schedule is the tier's usual one: degraded
-// performance, never a wrong byte or a client-visible error.
+// Points: disk.get, disk.put, peer.get, peer.put, peer.manifest in the
+// tier; session.snapshot.put, session.snapshot.get on the session
+// durability path; admit.accept, admit.shed in admission control; and
+// pool.dispatch in the worker pool. Modes are error, latency, corrupt,
+// enospc, scheduled by every/after/count/prob and derived purely from
+// -fault-seed (same seed, same schedule). The contract under any
+// schedule: degraded performance or a well-formed 429, never a wrong
+// byte or a malformed client-visible error.
 package main
 
 import (
@@ -251,6 +295,7 @@ import (
 	"time"
 
 	"samr/internal/fault"
+	"samr/internal/pool"
 	"samr/internal/server"
 )
 
@@ -274,6 +319,7 @@ func main() {
 		tierRepair  = flag.Duration("tier-repair", 0, "anti-entropy repair interval (0 disables; needs -tier-dir, -tier-peers, -tier-self)")
 		tierRepKeys = flag.Int("tier-repair-keys", 256, "max keys pulled per repair round")
 		tierSim     = flag.Bool("tier-sim-steps", false, "spill simulator step artifacts through the fleet tier")
+		tierSess    = flag.Bool("tier-sessions", false, "snapshot streaming sessions through the fleet tier so peers can resume them (needs the tier)")
 		faultSpec   = flag.String("faults", "", "fault-injection schedule for chaos drills, e.g. 'disk.put:enospc:every=7;peer.get:latency:delay=20ms,prob=0.1' (empty disables)")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed deriving the deterministic -faults schedule")
 		maxSessions = flag.Int("max-sessions", 256, "streaming session table capacity (LRU eviction past it)")
@@ -299,6 +345,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "samrd:", err)
 			os.Exit(1)
 		}
+		// The worker pool is package-level, so its dispatch injection
+		// point is armed process-wide rather than through server.Config.
+		pool.SetFaults(injector)
 	}
 
 	s, err := server.New(server.Config{
@@ -319,6 +368,7 @@ func main() {
 		TierRepair:     *tierRepair,
 		TierRepairKeys: *tierRepKeys,
 		TierSimSteps:   *tierSim,
+		TierSessions:   *tierSess,
 		Faults:         injector,
 		MaxSessions:    *maxSessions,
 		SessionTTL:     *sessionTTL,
@@ -373,6 +423,9 @@ func main() {
 	}
 	if s.Repairer() != nil {
 		log.Printf("samrd: anti-entropy repair on (every %s, <=%d keys/round)", *tierRepair, *tierRepKeys)
+	}
+	if *tierSess {
+		log.Printf("samrd: durable sessions on (snapshots through the fleet tier, peers resume)")
 	}
 	if injector != nil {
 		log.Printf("samrd: FAULT INJECTION ARMED (chaos drill, seed %d): %s", *faultSeed, injector)

@@ -55,6 +55,15 @@
 // -tier-self flags): a partition computed by the first daemon is
 // served by the second with X-Samr-Cache: tier — the bytes came over
 // the peer protocol, not from a partitioner run.
+//
+// # Session failover
+//
+// With -tier-sessions, sessions survive their daemon: every committed
+// step snapshots the session through the tier, and a peer receiving a
+// step for a token it does not hold resumes from the snapshot instead
+// of answering 410. The failover section kills the session-owning
+// daemon mid-stream and lands the next step on the survivor — same
+// token, X-Samr-Session-Resumed: 1, and the client never re-uploads.
 package main
 
 import (
@@ -73,6 +82,7 @@ import (
 	"samr/internal/apps"
 	"samr/internal/backoff"
 	"samr/internal/server"
+	"samr/internal/tier"
 	"samr/internal/trace"
 )
 
@@ -187,6 +197,9 @@ func run() error {
 		return err
 	}
 	if err := fleetDemo(wire); err != nil {
+		return err
+	}
+	if err := failoverDemo(wire); err != nil {
 		return err
 	}
 	return overloadDemo(wire)
@@ -424,6 +437,108 @@ func fleetDemo(wire []server.Hierarchy) error {
 	st := servers[1].Tier().Stats()
 	fmt.Printf("  daemon B tier: lookups=%d disk_hits=%d peer_hits=%d stores=%d\n",
 		st.Lookups, st.DiskHits, st.PeerHits, st.Stores)
+	return nil
+}
+
+// failoverDemo kills the session-owning daemon of a two-member fleet
+// mid-stream and shows the client's next step landing on the survivor
+// under the same token: with TierSessions on, every committed step
+// snapshots the session through the tier, and an unknown token is a
+// resume attempt before it is a 410.
+func failoverDemo(wire []server.Hierarchy) error {
+	fmt.Println("\nsession failover across a two-daemon fleet (-tier-sessions):")
+	const n = 2
+	urls := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range urls {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	servers := make([]*server.Server, n)
+	tss := make([]*httptest.Server, n)
+	for i := range urls {
+		dir, err := os.MkdirTemp("", "samr-sess-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir) //nolint:errcheck
+		s, err := server.New(server.Config{
+			DefaultProcs: 8,
+			TierDir:      dir,
+			TierPeers:    urls,
+			TierSelf:     urls[i],
+			TierSessions: true,
+		})
+		if err != nil {
+			return err
+		}
+		servers[i] = s
+		ts := httptest.NewUnstartedServer(s)
+		ts.Listener.Close() //nolint:errcheck
+		ts.Listener = listeners[i]
+		ts.Start()
+		tss[i] = ts
+		defer ts.Close()
+	}
+
+	// Open sessions on daemon A until one's snapshot key is owned by
+	// daemon B under rendezvous hashing: that snapshot's offer lands on
+	// B at step time, so it survives A. (A real client does not do this
+	// — it simply retries the documented 410 when the snapshot died
+	// with its owner; the loop just makes the demo deterministic.)
+	ring := servers[0].Tier().Ring()
+	var token string
+	for i := 0; i < 64; i++ {
+		var create server.SessionCreateResponse
+		if err := post(urls[0]+"/v1/session", server.SessionCreateRequest{
+			Hierarchy: &wire[0], Partitioner: "domain-hilbert-u2", NProcs: 8,
+		}, &create, nil); err != nil {
+			return err
+		}
+		if ring.Owner(tier.Key("session-snapshot", create.Session)) == urls[1] {
+			token = create.Session
+			break
+		}
+		req, _ := http.NewRequest(http.MethodDelete, urls[0]+"/v1/session/"+create.Session, nil)
+		if r, err := http.DefaultClient.Do(req); err == nil {
+			r.Body.Close()
+		}
+	}
+	if token == "" {
+		return fmt.Errorf("no session snapshot landed on daemon B in 64 tries")
+	}
+
+	// A committed step on daemon A writes the durable snapshot.
+	var before server.PartitionResponse
+	if err := post(urls[0]+"/v1/session/"+token+"/step", diffStep(wire[0], wire[1]), &before, nil); err != nil {
+		return err
+	}
+	fmt.Printf("  daemon A: session %.8s step sig=%.12s (snapshot offered to B)\n", token, before.Results[0].Signature)
+
+	tss[0].Close()
+	fmt.Println("  daemon A killed mid-stream")
+
+	// The client's next step goes to daemon B with the SAME token: B
+	// rebuilds the session from the snapshot and answers as if it had
+	// owned it all along.
+	var after server.PartitionResponse
+	var hdr http.Header
+	if err := post(urls[1]+"/v1/session/"+token+"/step", diffStep(wire[1], wire[2]), &after, &hdr); err != nil {
+		return err
+	}
+	fmt.Printf("  daemon B: step sig=%.12s %s=%s\n",
+		after.Results[0].Signature, server.SessionResumedHeader, hdr.Get(server.SessionResumedHeader))
+
+	var st server.StatsResponse
+	if err := get(urls[1]+"/v1/stats", &st); err != nil {
+		return err
+	}
+	fmt.Printf("  daemon B sessions: resumed=%d resume_misses=%d created=%d\n",
+		st.Sessions.Resumed, st.Sessions.ResumeMisses, st.Sessions.Created)
 	return nil
 }
 

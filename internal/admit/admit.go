@@ -39,6 +39,24 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"samr/internal/fault"
+)
+
+// Injection points of the admission layer, armed via Config.Faults by
+// tests and the -faults flag (production runs carry a nil injector).
+// They widen chaos testing from the tier onto the compute path itself.
+const (
+	// FaultAccept covers the top of every Admit call: an error decision
+	// sheds the request (ReasonInjected — a well-formed 429, since an
+	// admission fault is a refusal by definition), a latency decision
+	// stalls the admission decision.
+	FaultAccept = "admit.accept"
+	// FaultShed covers every shed path: a latency decision delays the
+	// fast-fail reply, modelling a slow rejection under pressure. Error
+	// and corrupt decisions are meaningless on a path already failing
+	// and are ignored.
+	FaultShed = "admit.shed"
 )
 
 // Priority is a request's dispatch class. Interactive requests
@@ -130,6 +148,9 @@ type Config struct {
 	// request has completed (default 100ms). Once requests flow, an
 	// EWMA of observed service times replaces it.
 	DefaultServiceTime time.Duration
+	// Faults arms the admission injection points (FaultAccept,
+	// FaultShed) for chaos testing; nil in production: zero-cost.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -235,6 +256,20 @@ func (c *Controller) Admit(ctx context.Context, tenant string, pri Priority, bud
 			return nil, &ShedError{Reason: ReasonInjected, RetryAfter: time.Second}
 		}
 	}
+	// The admit.accept injection point: an injected error is an
+	// injected shed (admission's only failure mode is refusal, so the
+	// fault surfaces as a well-formed 429, never a malformed reply);
+	// injected latency stalls the decision before any lock is taken.
+	if d := c.cfg.Faults.Hit(FaultAccept); d.Err != nil || d.Delay > 0 {
+		d.Sleep()
+		if d.Err != nil {
+			c.mu.Lock()
+			c.shedInjected++
+			c.tenantLocked(tenant).shed++
+			c.mu.Unlock()
+			return nil, &ShedError{Reason: ReasonInjected, RetryAfter: time.Second}
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -259,6 +294,7 @@ func (c *Controller) Admit(ctx context.Context, tenant string, pri Priority, bud
 			ten.throttled++
 			c.shedRate++
 			c.mu.Unlock()
+			c.shedDelay()
 			return nil, &ShedError{Reason: ReasonRateLimit, RetryAfter: wait}
 		}
 		ten.tokens--
@@ -281,6 +317,7 @@ func (c *Controller) Admit(ctx context.Context, tenant string, pri Priority, bud
 		c.shedQueue++
 		ten.shed++
 		c.mu.Unlock()
+		c.shedDelay()
 		return nil, &ShedError{Reason: ReasonQueueFull, RetryAfter: est}
 	}
 	est := c.waitEstimateLocked(c.queued)
@@ -294,6 +331,7 @@ func (c *Controller) Admit(ctx context.Context, tenant string, pri Priority, bud
 		c.shedDeadline++
 		ten.shed++
 		c.mu.Unlock()
+		c.shedDelay()
 		return nil, &ShedError{Reason: ReasonDeadline, RetryAfter: est}
 	}
 	w := &waiter{tenant: tenant, pri: pri, ready: make(chan struct{})}
@@ -324,6 +362,10 @@ func (c *Controller) Admit(ctx context.Context, tenant string, pri Priority, bud
 		return nil, ctx.Err()
 	}
 }
+
+// shedDelay applies the admit.shed injection point's latency (only;
+// see FaultShed) outside the controller mutex.
+func (c *Controller) shedDelay() { c.cfg.Faults.Hit(FaultShed).Sleep() }
 
 // releaseFunc builds the idempotent slot-return closure for an admitted
 // request.

@@ -42,6 +42,22 @@ func (pm *PostMapped) Reset() {
 	pm.prevA = nil
 }
 
+// History returns the carried previous-call state: the hierarchy and
+// assignment the next Partition call will remap against (both nil
+// before the first completed call). The returned values are the live
+// state — callers must treat them as immutable.
+func (pm *PostMapped) History() (*grid.Hierarchy, *Assignment) { return pm.prevH, pm.prevA }
+
+// SetHistory replaces the carried state wholesale, as if h/a were the
+// previous completed call. It exists for session resumption: a daemon
+// rebuilding a postmap session from a fleet snapshot restores the
+// mapping history so the resumed stream relabels exactly as the
+// uninterrupted one would. pm takes ownership of both values.
+func (pm *PostMapped) SetHistory(h *grid.Hierarchy, a *Assignment) {
+	pm.prevH = h
+	pm.prevA = a
+}
+
 // Partition implements Partitioner: it runs the inner partitioner and
 // permutes the part labels to maximize overlap with the previous call's
 // assignment. A cancelled call leaves the carried previous-assignment

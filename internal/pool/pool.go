@@ -10,12 +10,31 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"samr/internal/fault"
 )
 
 // Workers returns the default pool width: the process's GOMAXPROCS.
 // On a single-core runner this is 1 and every ForEach degrades to a
 // plain loop with zero goroutine overhead.
 func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// FaultDispatch is the pool's chaos injection point, consulted once
+// per MapCtx/RunCtx fan-out. Dispatch faults are performance
+// perturbations by design — they never fail a request: a latency
+// decision stalls the fan-out before dispatch, and an error decision
+// degrades it to serial execution on the calling goroutine (a pool
+// whose helpers are "lost"), exercising every code path above under
+// pathological scheduling while output stays bit-identical.
+const FaultDispatch = "pool.dispatch"
+
+// dispatchFaults is the armed injector. Pools are package-level, so
+// unlike the tier's per-instance injectors this is process-wide state.
+var dispatchFaults atomic.Pointer[fault.Injector]
+
+// SetFaults arms (or, with nil, disarms) the pool's injection points —
+// tests and the -faults flag only; the last caller wins process-wide.
+func SetFaults(in *fault.Injector) { dispatchFaults.Store(in) }
 
 // active counts helper goroutines currently running across every pool
 // in the process; it caps total pool width at GOMAXPROCS even when
@@ -154,6 +173,12 @@ func Run(fns ...func()) {
 func MapCtx(ctx context.Context, workers, n int, f func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
+	}
+	if d := dispatchFaults.Load().Hit(FaultDispatch); d.Err != nil || d.Delay > 0 {
+		d.Sleep()
+		if d.Err != nil {
+			workers = 1 // injected dispatch failure: degrade to serial
+		}
 	}
 	if workers > n {
 		workers = n

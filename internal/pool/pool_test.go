@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"samr/internal/fault"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -394,5 +396,95 @@ func TestBatchHelpersYieldToInteractive(t *testing.T) {
 	close(interactiveCtxDone)
 	if lone.Load() == 0 {
 		t.Errorf("batch never ran caller-alone while interactive was active (%d indices)", during.Load())
+	}
+}
+
+// TestInjectedDispatchDegradesToSerial pins the pool.dispatch fault
+// point: an injected dispatch error degrades the fan-out to a serial
+// run — identical coverage and output slots, exact earliest-error
+// semantics — because losing parallelism must only ever cost time.
+func TestInjectedDispatchDegradesToSerial(t *testing.T) {
+	in, err := fault.New(2, fault.Plan{Point: FaultDispatch, Mode: fault.Error})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetFaults(in)
+	defer SetFaults(nil)
+
+	const n = 64
+	out := make([]int, n)
+	var maxConcurrent, cur atomic.Int64
+	if err := MapCtx(context.Background(), 8, n, func(i int) error {
+		if c := cur.Add(1); c > maxConcurrent.Load() {
+			maxConcurrent.Store(c)
+		}
+		defer cur.Add(-1)
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatalf("degraded MapCtx = %v, want nil", err)
+	}
+	for i := range out {
+		if out[i] != i*i {
+			t.Fatalf("index %d not covered under serial degrade", i)
+		}
+	}
+	if got := maxConcurrent.Load(); got != 1 {
+		t.Fatalf("observed concurrency %d under injected dispatch failure, want 1 (serial)", got)
+	}
+
+	// Earliest-error semantics survive the degrade: the serial run
+	// stops at the first failing index, exactly like a healthy pool
+	// reports the earliest error.
+	boom := errors.New("boom")
+	ran := 0
+	err = MapCtx(context.Background(), 8, n, func(i int) error {
+		ran++
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom || ran != 6 {
+		t.Fatalf("degraded error run = (%v, %d calls), want (boom, 6)", err, ran)
+	}
+	if st := in.Stats()[FaultDispatch]; st.Injected == 0 {
+		t.Fatal("dispatch fault never fired")
+	}
+}
+
+// TestInjectedDispatchLatencyOnly: a latency-only plan stalls the
+// fan-out start but leaves parallel dispatch intact.
+func TestInjectedDispatchLatencyOnly(t *testing.T) {
+	in, err := fault.New(3, fault.Plan{Point: FaultDispatch, Mode: fault.Latency, Delay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetFaults(in)
+	defer SetFaults(nil)
+
+	const n = 16
+	var covered atomic.Int64
+	barrier := make(chan struct{})
+	var once sync.Once
+	if err := MapCtx(context.Background(), 4, n, func(i int) error {
+		// Prove real parallelism survives: the first four calls must
+		// be concurrent for the barrier to open. (A serial degrade
+		// would deadlock here, so a generous timeout guards it.)
+		once.Do(func() {
+			select {
+			case <-barrier:
+			case <-time.After(5 * time.Second):
+			}
+		})
+		if covered.Add(1) == 4 {
+			close(barrier)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("latency-stalled MapCtx = %v, want nil", err)
+	}
+	if covered.Load() != n {
+		t.Fatalf("covered %d of %d indices", covered.Load(), n)
 	}
 }

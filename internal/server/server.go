@@ -144,6 +144,16 @@ type Config struct {
 	// through the fleet tier (stateless steps only; the step cache is
 	// process-wide, so the last server wired wins).
 	TierSimSteps bool
+	// TierSessions makes streaming sessions fleet-resumable: after
+	// every committed step the session's state is snapshotted through
+	// the tier's store/offer path, and a step or delete naming a token
+	// this daemon does not hold consults the tier before answering 410
+	// — on a snapshot hit the session is rebuilt and served under the
+	// same token (X-Samr-Session-Resumed: 1). Sessions remain soft
+	// state: a tier miss still answers 410 and the client re-creates.
+	// Requires the tier (TierDir and/or TierPeers); with it off every
+	// response is byte-identical to a build without durable sessions.
+	TierSessions bool
 	// Faults arms the tier's fault-injection points for chaos testing
 	// (nil in production: the registry is zero-cost when disarmed).
 	Faults *fault.Injector
@@ -238,6 +248,9 @@ type Server struct {
 // TraceDir is not.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.TierSessions && !tierEnabled(cfg) {
+		return nil, fmt.Errorf("server: TierSessions requires the fleet tier (set TierDir and/or TierPeers)")
+	}
 	s := &Server{
 		cfg:       cfg,
 		cache:     NewPartitionCache(cfg.CacheSize),
@@ -251,6 +264,7 @@ func New(cfg Config) (*Server, error) {
 			QueueDepth:  cfg.QueueDepth,
 			TenantRate:  cfg.TenantRate,
 			TenantBurst: cfg.TenantBurst,
+			Faults:      cfg.Faults,
 		})
 	}
 	if _, err := s.registry.LoadDir(); err != nil {

@@ -105,6 +105,7 @@ type sessionTable struct {
 	now      func() time.Time
 
 	created, expired, evicted, steps atomic.Uint64
+	resumed, resumeMisses            atomic.Uint64
 	http                             endpointStats
 }
 
@@ -183,6 +184,38 @@ func (t *sessionTable) removeLocked(sess *session) {
 	t.order.Remove(sess.elem)
 }
 
+// restore inserts a session rebuilt from a fleet-tier snapshot,
+// first-wins: when a live session with the same token already exists
+// (two requests raced the same resume, or the owner never actually
+// lost it), the existing instance is returned and the rebuilt copy
+// discarded — its in-flight steps must all land on one state. Counts
+// resumed only on an actual insert, and never created: creates count
+// client uploads, resumes count failovers (/v1/stats keeps them
+// distinct).
+func (t *sessionTable) restore(sess *session) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.sessions[sess.id]; ok {
+		now := t.now()
+		if now.Sub(cur.lastUsed) <= t.ttl {
+			cur.lastUsed = now
+			t.order.MoveToFront(cur.elem)
+			return cur
+		}
+		t.removeLocked(cur)
+		t.expired.Add(1)
+	}
+	for len(t.sessions) >= t.max {
+		t.removeLocked(t.order.Back().Value.(*session))
+		t.evicted.Add(1)
+	}
+	sess.lastUsed = t.now()
+	sess.elem = t.order.PushFront(sess)
+	t.sessions[sess.id] = sess
+	t.resumed.Add(1)
+	return sess
+}
+
 // stats snapshots the session counters, or nil while the layer has
 // never been used (keeping the stats body identical to a sessionless
 // build until the first session request arrives).
@@ -194,14 +227,16 @@ func (t *sessionTable) stats() *SessionCounters {
 	active := len(t.sessions)
 	t.mu.Unlock()
 	return &SessionCounters{
-		Active:   active,
-		Capacity: t.max,
-		Created:  t.created.Load(),
-		Steps:    t.steps.Load(),
-		Expired:  t.expired.Load(),
-		Evicted:  t.evicted.Load(),
-		Requests: t.http.requests.Load(),
-		Errors:   t.http.errors.Load(),
+		Active:       active,
+		Capacity:     t.max,
+		Created:      t.created.Load(),
+		Steps:        t.steps.Load(),
+		Expired:      t.expired.Load(),
+		Evicted:      t.evicted.Load(),
+		Resumed:      t.resumed.Load(),
+		ResumeMisses: t.resumeMisses.Load(),
+		Requests:     t.http.requests.Load(),
+		Errors:       t.http.errors.Load(),
 	}
 }
 
@@ -326,8 +361,15 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	}
 	sess := s.sessions.lookup(id)
 	if sess == nil {
-		writeSessionGone(w, id)
-		return
+		// Not held locally: with durable sessions on, the fleet tier may
+		// hold a snapshot a now-dead peer wrote — resume under the same
+		// token and serve the step as if this daemon had owned it all
+		// along. A tier miss keeps the documented soft-state answer.
+		if sess = s.resumeSession(ctx, id); sess == nil {
+			writeSessionGone(w, id)
+			return
+		}
+		w.Header().Set(SessionResumedHeader, "1")
 	}
 
 	sess.mu.Lock()
@@ -371,9 +413,14 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 		writeFailure(w, err)
 		return
 	}
-	// Commit: the session state advances only on success.
+	// Commit: the session state advances only on success. The durable
+	// snapshot is written after the commit (still under sess.mu, so
+	// snapshots for one session never race each other out of order); a
+	// failed step leaves the previous snapshot — the last committed
+	// state — in place, which is exactly what a resuming peer may serve.
 	sess.h = next
 	s.sessions.steps.Add(1)
+	s.storeSessionSnapshot(sess)
 
 	res := buildPartitionResult(next, sig, sess.name, sess.nprocs, a, disp)
 	results := []PartitionResult{res}
@@ -389,8 +436,17 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.sessions.remove(id) {
-		writeSessionGone(w, id)
-		return
+		// With durable sessions on, a snapshot written by a dead peer
+		// still proves the token was live — resume it just to delete it,
+		// so a client deleting after a failover gets the same 204 it
+		// would have gotten from the original owner.
+		if s.resumeSession(r.Context(), id) == nil {
+			writeSessionGone(w, id)
+			return
+		}
+		w.Header().Set(SessionResumedHeader, "1")
+		s.sessions.remove(id)
 	}
+	s.dropSessionSnapshot(id)
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -433,6 +433,153 @@ func TestSessionStepCancelLeavesStateUntouched(t *testing.T) {
 	}
 }
 
+// TestSessionStepEvictionRace pins the step-versus-eviction contract:
+// a step already in flight on a session that is concurrently evicted
+// from the table still completes with 200 — the handler holds the
+// session object, which the table eviction does not destroy — and the
+// token answers 410 from then on.
+func TestSessionStepEvictionRace(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxSessions: 1})
+	first := createSession(t, ts.URL, wideHierarchy(0), "domain", 8)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.Cache().SetOnFlight(func(k CacheKey, leader bool) {
+		if leader {
+			once.Do(func() { close(entered) })
+			<-release
+		}
+	})
+
+	body, err := json.Marshal(finestStep(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		r, err := http.Post(ts.URL+"/v1/session/"+first.Session+"/step", "application/json", bytes.NewReader(body))
+		done <- result{r, err}
+	}()
+	<-entered // the step is parked mid-compute as the flight leader
+
+	// Creating a second session under MaxSessions: 1 evicts the first
+	// while its step is still running (creates never enter the cache,
+	// so this does not park).
+	second := createSession(t, ts.URL, wideHierarchy(16), "domain", 8)
+	close(release)
+	srv.Cache().SetOnFlight(nil)
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("parked step failed in transport: %v", res.err)
+	}
+	res.resp.Body.Close() //nolint:errcheck
+	if res.resp.StatusCode != http.StatusOK {
+		t.Fatalf("step racing its own eviction: status %d, want 200", res.resp.StatusCode)
+	}
+
+	// The evicted token is gone; the survivor keeps working.
+	if r := post(t, ts.URL+"/v1/session/"+first.Session+"/step", finestStep(16), nil); r.StatusCode != http.StatusGone {
+		t.Fatalf("step after eviction: status %d, want 410", r.StatusCode)
+	}
+	if r := post(t, ts.URL+"/v1/session/"+second.Session+"/step", finestStep(24), nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("surviving session step: status %d", r.StatusCode)
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Sessions.Evicted != 1 || st.Sessions.Active != 1 || st.Sessions.Steps != 2 {
+		t.Fatalf("stats after eviction race: %+v", st.Sessions)
+	}
+}
+
+// TestSessionTableConcurrentStepsAndEvictions hammers the table from
+// both sides under the race detector: steppers advancing their own
+// sessions (re-creating on 410) while churners force evictions past
+// the capacity bound. The invariant at rest: every created session was
+// either evicted or is still active, and no request ever saw anything
+// but 200 or the documented 410/409.
+func TestSessionTableConcurrentStepsAndEvictions(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: 2})
+
+	const workers, iters = 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*iters)
+	step := func(id string, x int) int {
+		body, _ := json.Marshal(finestStep(x))
+		r, err := http.Post(ts.URL+"/v1/session/"+id+"/step", "application/json", bytes.NewReader(body))
+		if err != nil {
+			errs <- err.Error()
+			return 0
+		}
+		defer r.Body.Close()        //nolint:errcheck
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		return r.StatusCode
+	}
+	create := func() (string, bool) {
+		body, _ := json.Marshal(SessionCreateRequest{Hierarchy: ptr(wideHierarchy(0)), Partitioner: "domain", NProcs: 8})
+		r, err := http.Post(ts.URL+"/v1/session", "application/json", bytes.NewReader(body))
+		if err != nil {
+			errs <- err.Error()
+			return "", false
+		}
+		defer r.Body.Close() //nolint:errcheck
+		var resp SessionCreateResponse
+		if err := json.NewDecoder(r.Body).Decode(&resp); err != nil || resp.Session == "" {
+			errs <- "create decoded no session"
+			return "", false
+		}
+		return resp.Session, true
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id, ok := create()
+			if !ok {
+				return
+			}
+			for i := 1; i <= iters; i++ {
+				switch code := step(id, 4*(i%8)+4); code {
+				case http.StatusOK:
+				case http.StatusGone:
+					// Evicted by a sibling: the documented recovery.
+					if id, ok = create(); !ok {
+						return
+					}
+				default:
+					errs <- http.StatusText(code)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("worker error: %s", e)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Sessions == nil {
+		t.Fatal("no session stats after the hammer")
+	}
+	if st.Sessions.Active > 2 {
+		t.Errorf("active sessions %d exceed the capacity bound 2", st.Sessions.Active)
+	}
+	if st.Sessions.Created != st.Sessions.Evicted+st.Sessions.Expired+uint64(st.Sessions.Active) {
+		t.Errorf("session accounting does not balance: %+v", st.Sessions)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
 // TestSessionsOffWireIdentity pins the compatibility criterion: with no
 // session requests the whole observable surface — stats body, endpoint
 // map, error bodies — is byte-identical to a build without the session

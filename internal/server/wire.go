@@ -327,6 +327,15 @@ type SessionCounters struct {
 	Steps   uint64 `json:"steps"`
 	Expired uint64 `json:"expired"`
 	Evicted uint64 `json:"evicted"`
+	// Resumed counts sessions rebuilt from a fleet-tier snapshot after
+	// a request referenced a token this daemon did not hold;
+	// ResumeMisses counts such attempts the tier could not answer (the
+	// request then got the usual 410). Resumes are deliberately not
+	// Created: creates count client uploads, resumes count failovers.
+	// Both are omitted (always zero) while TierSessions is off, keeping
+	// that stats body identical to earlier releases.
+	Resumed      uint64 `json:"resumed,omitempty"`
+	ResumeMisses uint64 `json:"resume_misses,omitempty"`
 	// Requests/Errors are the session endpoints' HTTP totals (kept out
 	// of the endpoints map: an unused session layer reports nothing).
 	Requests uint64 `json:"requests"`

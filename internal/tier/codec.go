@@ -33,6 +33,7 @@ import (
 	"math"
 
 	"samr/internal/geom"
+	"samr/internal/grid"
 	"samr/internal/partition"
 	"samr/internal/sim"
 )
@@ -44,6 +45,10 @@ const (
 	// KindStepArtifact is a simulator step artifact: an assignment
 	// plus its evaluated per-run-independent step metrics.
 	KindStepArtifact byte = 2
+	// KindSessionSnapshot is a streaming-session snapshot: everything a
+	// peer needs to resume a session under the same token (see
+	// SessionSnapshot).
+	KindSessionSnapshot byte = 3
 )
 
 // codecVersion is bumped whenever the payload layout changes; a blob
@@ -310,4 +315,215 @@ func DecodeStepArtifact(blob []byte) (*partition.Assignment, sim.StepMetrics, er
 		return nil, sim.StepMetrics{}, err
 	}
 	return a, sm, nil
+}
+
+// SessionSnapshot is the durable form of one streaming session — the
+// committed state a peer daemon needs to resume the session under the
+// same token after its owner dies: the current hierarchy geometry, the
+// tracked signature state binding that geometry to the signature the
+// owner last served (a mismatch on rebuild means a damaged or stale
+// snapshot and decodes into a resume miss), the canonical partitioner
+// spec, and — for stateful postmap sessions — the carried mapping
+// history. Snapshots are keyed per session token, so unlike the
+// content-addressed result blobs a later snapshot for the same token
+// legitimately overwrites an earlier one.
+type SessionSnapshot struct {
+	// Name is the canonical partitioner spec; NProcs the fixed count.
+	Name   string
+	NProcs int
+	// Hierarchy is the session's committed regrid state; Sig is its
+	// tracked signature state at snapshot time.
+	Hierarchy *grid.Hierarchy
+	Sig       grid.SignatureState
+	// Stateful marks a postmap session; PrevHierarchy/PrevAssignment
+	// carry its mapping history (both nil before the first completed
+	// step remaps anything).
+	Stateful       bool
+	PrevHierarchy  *grid.Hierarchy
+	PrevAssignment *partition.Assignment
+}
+
+// appendBox appends one box: dim plus every MaxDim lo/hi component, the
+// same fragment convention appendAssignment uses, so padding
+// round-trips bit-exactly.
+func appendBox(buf []byte, b geom.Box) []byte {
+	buf = binary.AppendUvarint(buf, uint64(b.Dim))
+	for d := 0; d < geom.MaxDim; d++ {
+		buf = binary.AppendVarint(buf, int64(b.Lo[d]))
+	}
+	for d := 0; d < geom.MaxDim; d++ {
+		buf = binary.AppendVarint(buf, int64(b.Hi[d]))
+	}
+	return buf
+}
+
+func (r *reader) box() geom.Box {
+	var b geom.Box
+	b.Dim = int(r.uvarint())
+	for d := 0; d < geom.MaxDim; d++ {
+		b.Lo[d] = int(r.varint())
+	}
+	for d := 0; d < geom.MaxDim; d++ {
+		b.Hi[d] = int(r.varint())
+	}
+	return b
+}
+
+// boxMinBytes is the least encoded size of one box: 1 + 2*MaxDim
+// single-byte varints.
+const boxMinBytes = 1 + 2*geom.MaxDim
+
+// appendHierarchy appends h's geometry: domain, refinement ratio, and
+// every level's box list.
+func appendHierarchy(buf []byte, h *grid.Hierarchy) []byte {
+	buf = appendBox(buf, h.Domain)
+	buf = binary.AppendUvarint(buf, uint64(h.RefRatio))
+	buf = binary.AppendUvarint(buf, uint64(len(h.Levels)))
+	for _, lev := range h.Levels {
+		buf = binary.AppendUvarint(buf, uint64(len(lev.Boxes)))
+		for _, b := range lev.Boxes {
+			buf = appendBox(buf, b)
+		}
+	}
+	return buf
+}
+
+func (r *reader) hierarchy() *grid.Hierarchy {
+	h := &grid.Hierarchy{Domain: r.box(), RefRatio: int(r.uvarint())}
+	nLevels := r.count(r.uvarint(), 1)
+	if r.err != nil {
+		return nil
+	}
+	h.Levels = make([]grid.Level, nLevels)
+	for l := range h.Levels {
+		nBoxes := r.count(r.uvarint(), boxMinBytes)
+		if r.err != nil {
+			return nil
+		}
+		if nBoxes > 0 {
+			h.Levels[l].Boxes = make(geom.BoxList, nBoxes)
+		}
+		for i := range h.Levels[l].Boxes {
+			h.Levels[l].Boxes[i] = r.box()
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return h
+}
+
+// appendBytes appends a length-prefixed byte string.
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func (r *reader) bytes() []byte {
+	n := r.count(r.uvarint(), 1)
+	if r.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[:n])
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *reader) signature() geom.Signature {
+	var s geom.Signature
+	if r.err != nil {
+		return s
+	}
+	if len(r.buf) < len(s) {
+		r.err = corrupt("short signature")
+		return s
+	}
+	copy(s[:], r.buf)
+	r.buf = r.buf[len(s):]
+	return s
+}
+
+func (r *reader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.buf) < 1 {
+		r.err = corrupt("short bool")
+		return false
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	if v > 1 {
+		r.err = corrupt("bad bool %d", v)
+		return false
+	}
+	return v == 1
+}
+
+func appendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// EncodeSessionSnapshot seals ss into a versioned, checksummed blob.
+// The signature state must describe exactly ss.Hierarchy's levels.
+func EncodeSessionSnapshot(ss *SessionSnapshot) []byte {
+	payload := appendBytes(nil, []byte(ss.Name))
+	payload = binary.AppendUvarint(payload, uint64(ss.NProcs))
+	payload = appendHierarchy(payload, ss.Hierarchy)
+	payload = append(payload, ss.Sig.Top[:]...)
+	for l := range ss.Sig.Levels {
+		payload = append(payload, ss.Sig.Levels[l][:]...)
+		payload = appendBytes(payload, ss.Sig.Mid[l])
+	}
+	payload = appendBool(payload, ss.Stateful)
+	if ss.Stateful {
+		hasHistory := ss.PrevHierarchy != nil && ss.PrevAssignment != nil
+		payload = appendBool(payload, hasHistory)
+		if hasHistory {
+			payload = appendHierarchy(payload, ss.PrevHierarchy)
+			payload = appendAssignment(payload, ss.PrevAssignment)
+		}
+	}
+	return seal(KindSessionSnapshot, payload)
+}
+
+// DecodeSessionSnapshot reverses EncodeSessionSnapshot. The signature
+// state is decoded, not verified — the resuming server cross-checks it
+// against the rebuilt hierarchy (grid.ImportSignatureState), so a
+// snapshot that decodes cleanly can still be rejected as stale there.
+func DecodeSessionSnapshot(blob []byte) (*SessionSnapshot, error) {
+	payload, err := open(KindSessionSnapshot, blob)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{buf: payload}
+	ss := &SessionSnapshot{}
+	ss.Name = string(r.bytes())
+	ss.NProcs = int(r.uvarint())
+	ss.Hierarchy = r.hierarchy()
+	ss.Sig.Top = r.signature()
+	if r.err == nil {
+		n := len(ss.Hierarchy.Levels)
+		ss.Sig.Levels = make([]geom.Signature, n)
+		ss.Sig.Mid = make([][]byte, n)
+		for l := 0; l < n; l++ {
+			ss.Sig.Levels[l] = r.signature()
+			ss.Sig.Mid[l] = r.bytes()
+		}
+	}
+	ss.Stateful = r.bool()
+	if r.err == nil && ss.Stateful {
+		if r.bool() {
+			ss.PrevHierarchy = r.hierarchy()
+			ss.PrevAssignment = r.assignment()
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return ss, nil
 }

@@ -199,8 +199,20 @@ func retryAfter(r *http.Response) time.Duration {
 // Get fetches key from peer. ok is false for misses and every failure
 // alike; the tier degrades to a local compute either way.
 func (c *PeerClient) Get(ctx context.Context, peer, key string) ([]byte, bool) {
+	blob, err := c.Fetch(ctx, peer, key)
+	return blob, err == nil
+}
+
+// Fetch is Get distinguishing its misses: it returns the blob, or
+// ErrPeerMiss when the peer is healthy but lacks the key (it answered
+// 404 — the one outcome that proves absence), or another error for
+// every failure where the peer's holdings stay unknown (breaker open,
+// transport error, 5xx). The repairer's delta-manifest state needs the
+// distinction — a clean miss retires a remembered key, a failure must
+// not.
+func (c *PeerClient) Fetch(ctx context.Context, peer, key string) ([]byte, error) {
 	if !c.allowed(peer) {
-		return nil, false
+		return nil, fmt.Errorf("tier: peer %s: breaker open", peer)
 	}
 	c.gets.Add(1)
 	d := c.faults.Hit(FaultPeerGet)
@@ -209,7 +221,7 @@ func (c *PeerClient) Get(ctx context.Context, peer, key string) ([]byte, bool) {
 		// An injected transport failure: no request is sent, the
 		// breaker sees a failure, the caller sees a miss.
 		c.report(peer, false)
-		return nil, false
+		return nil, d.Err
 	}
 	var blob []byte
 	err := backoff.Retry(ctx, c.policy, func(ctx context.Context) error {
@@ -227,7 +239,7 @@ func (c *PeerClient) Get(ctx context.Context, peer, key string) ([]byte, bool) {
 			blob, err = io.ReadAll(io.LimitReader(resp.Body, maxPeerBlobBytes))
 			return err
 		case resp.StatusCode == http.StatusNotFound:
-			return errMiss
+			return ErrPeerMiss
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
 			return backoff.RetryableAfter(fmt.Errorf("tier: peer %s: %s", peer, resp.Status), retryAfter(resp))
 		default:
@@ -242,19 +254,20 @@ func (c *PeerClient) Get(ctx context.Context, peer, key string) ([]byte, bool) {
 			// simulates on-the-wire corruption (the decoder quarantines).
 			fault.Damage(blob)
 		}
-		return blob, true
-	case errMiss:
+		return blob, nil
+	case ErrPeerMiss:
 		c.report(peer, true)
 		c.misses.Add(1)
-		return nil, false
+		return nil, ErrPeerMiss
 	default:
 		c.report(peer, false)
-		return nil, false
+		return nil, err
 	}
 }
 
-// errMiss is the internal clean-miss sentinel (peer healthy, key absent).
-var errMiss = fmt.Errorf("tier: peer miss")
+// ErrPeerMiss is Fetch's clean-miss sentinel: the peer answered and
+// provably lacks the key.
+var ErrPeerMiss = fmt.Errorf("tier: peer miss")
 
 // Put offers key's blob to peer, best-effort: the return value is
 // informational and no failure propagates to the caller's request.
@@ -308,18 +321,33 @@ const maxManifestBytes = 16 << 20
 // repair disabled there, or an older build — reports an empty manifest
 // (the peer is healthy; it just shares nothing), like 404 on Get.
 func (c *PeerClient) Manifest(ctx context.Context, peer string) ([]string, bool) {
+	keys, _, ok := c.ManifestSince(ctx, peer, 0)
+	return keys, ok
+}
+
+// ManifestSince is Manifest with a delta cursor: since > 0 asks peer
+// for only the keys written after that generation (the value a prior
+// manifest reply advertised in ManifestGenHeader), and gen returns the
+// reply's generation for the next call. gen is 0 when the peer did not
+// advertise one — an older build serving full lists — in which case
+// the caller must keep its cursor at 0 and treat every manifest as the
+// complete listing.
+func (c *PeerClient) ManifestSince(ctx context.Context, peer string, since uint64) (keys []string, gen uint64, ok bool) {
 	if !c.allowed(peer) {
-		return nil, false
+		return nil, 0, false
 	}
 	d := c.faults.Hit(FaultPeerManifest)
 	d.Sleep()
 	if d.Err != nil {
 		c.report(peer, false)
-		return nil, false
+		return nil, 0, false
 	}
-	var keys []string
+	url := peer + "/v1/tier/manifest"
+	if since > 0 {
+		url += "?since=" + strconv.FormatUint(since, 10)
+	}
 	err := backoff.Retry(ctx, c.policy, func(ctx context.Context) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/tier/manifest", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return err
 		}
@@ -331,6 +359,10 @@ func (c *PeerClient) Manifest(ctx context.Context, peer string) ([]string, bool)
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			keys = keys[:0]
+			gen = 0
+			if g, perr := strconv.ParseUint(resp.Header.Get(ManifestGenHeader), 10, 64); perr == nil {
+				gen = g
+			}
 			sc := bufio.NewScanner(io.LimitReader(resp.Body, maxManifestBytes))
 			for sc.Scan() {
 				if key := strings.TrimSpace(sc.Text()); validKey(key) {
@@ -339,7 +371,7 @@ func (c *PeerClient) Manifest(ctx context.Context, peer string) ([]string, bool)
 			}
 			return sc.Err()
 		case resp.StatusCode == http.StatusNotFound:
-			keys = keys[:0]
+			keys, gen = keys[:0], 0
 			return nil
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
 			return backoff.RetryableAfter(fmt.Errorf("tier: peer %s: %s", peer, resp.Status), retryAfter(resp))
@@ -349,7 +381,7 @@ func (c *PeerClient) Manifest(ctx context.Context, peer string) ([]string, bool)
 	})
 	c.report(peer, err == nil)
 	if err != nil {
-		return nil, false
+		return nil, 0, false
 	}
-	return keys, true
+	return keys, gen, true
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -18,6 +19,18 @@ import (
 // in both keys and bytes so a cold member never floods the fleet.
 // Repair is pull-only and idempotent: running it on a warm member is a
 // manifest exchange and nothing else.
+//
+// Manifests are fetched as deltas: the repairer remembers, per peer,
+// the accumulated key set and the write-generation cursor the peer
+// last advertised (ManifestGenHeader), so a steady-state round asks
+// only for keys written since the previous round instead of the full
+// list. The full list remains the fallback — first contact, a peer
+// that does not advertise a generation, or a cursor the peer's
+// restarted store no longer covers all reset to it. Deltas never
+// report deletions, so a remembered key a peer has since evicted is
+// discovered as a clean miss at pull time (ErrPeerMiss) and retired
+// then; a transport failure retires nothing, because the peer may
+// still hold the key.
 
 // RepairConfig tunes a Repairer; zero values select the defaults.
 type RepairConfig struct {
@@ -47,14 +60,27 @@ type RepairStats struct {
 }
 
 // Repairer drives anti-entropy rounds for one Tier. Methods are safe
-// for concurrent use; rounds themselves run one at a time per caller
-// (Run is the usual driver, tests call Round directly).
+// for concurrent use; concurrent Round calls serialize on the view
+// state (Run is the usual driver, tests call Round directly).
 type Repairer struct {
 	t   *Tier
 	cfg RepairConfig
 
+	// roundMu serializes rounds and guards views: the per-peer delta
+	// cursors and accumulated manifest key sets.
+	roundMu sync.Mutex
+	views   map[string]*peerView
+
 	rounds, keysPulled, bytesPulled, failures atomic.Uint64
 	missing                                   atomic.Int64
+}
+
+// peerView is what the repairer remembers about one peer's manifest:
+// the keys it has advertised (minus those retired as clean misses) and
+// the generation cursor for the next delta fetch.
+type peerView struct {
+	cursor uint64
+	keys   map[string]bool
 }
 
 // NewRepairer builds a repairer over t, which must have all three of a
@@ -77,16 +103,51 @@ func NewRepairer(t *Tier, cfg RepairConfig) (*Repairer, error) {
 	if cfg.MaxBytesPerRound <= 0 {
 		cfg.MaxBytesPerRound = 64 << 20
 	}
-	return &Repairer{t: t, cfg: cfg}, nil
+	return &Repairer{t: t, cfg: cfg, views: make(map[string]*peerView)}, nil
 }
 
 // Interval returns the configured round period.
 func (r *Repairer) Interval() time.Duration { return r.cfg.Interval }
 
+// refreshView updates the remembered manifest view of peer with one
+// delta (or, when the cursor cannot be trusted, full) fetch, reporting
+// success. Called with roundMu held.
+func (r *Repairer) refreshView(ctx context.Context, peer string) (*peerView, bool) {
+	view := r.views[peer]
+	if view == nil {
+		view = &peerView{keys: make(map[string]bool)}
+		r.views[peer] = view
+	}
+	keys, gen, ok := r.t.client.ManifestSince(ctx, peer, view.cursor)
+	if !ok {
+		return view, false
+	}
+	if gen < view.cursor {
+		// The peer's store restarted (its generation counter regressed
+		// below our cursor, which KeysSince answers with the full list)
+		// or the peer stopped advertising generations: either way our
+		// accumulated set may contain keys the new incarnation never
+		// had. Rebuild the view from this reply, which was a full
+		// listing by the cursor-regression fallback.
+		view.keys = make(map[string]bool, len(keys))
+	} else if view.cursor == 0 {
+		// First contact (or a peer stuck on full listings): the reply
+		// is the complete listing, so replace rather than accumulate.
+		view.keys = make(map[string]bool, len(keys))
+	}
+	for _, key := range keys {
+		view.keys[key] = true
+	}
+	view.cursor = gen
+	return view, true
+}
+
 // Round performs one bounded repair pass and returns the number of
 // keys pulled. Keys past the round's key/byte bounds (and failed
 // pulls) are left for the next round and counted in the Missing gauge.
 func (r *Repairer) Round(ctx context.Context) int {
+	r.roundMu.Lock()
+	defer r.roundMu.Unlock()
 	pulled := 0
 	var pulledBytes int64
 	missing := 0
@@ -99,11 +160,16 @@ func (r *Repairer) Round(ctx context.Context) int {
 		if !r.t.client.Available(peer) {
 			continue
 		}
-		keys, ok := r.t.client.Manifest(ctx, peer)
+		view, ok := r.refreshView(ctx, peer)
 		if !ok {
 			r.failures.Add(1)
 			continue
 		}
+		keys := make([]string, 0, len(view.keys))
+		for key := range view.keys {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
 		for _, key := range keys {
 			if seen[key] || !r.t.ring.OwnedBySelf(key) || r.t.disk.Has(key) {
 				continue
@@ -113,8 +179,17 @@ func (r *Repairer) Round(ctx context.Context) int {
 				missing++
 				continue
 			}
-			blob, ok := r.t.client.Get(ctx, peer, key)
-			if !ok {
+			blob, err := r.t.client.Fetch(ctx, peer, key)
+			if err == ErrPeerMiss {
+				// The peer provably no longer holds the key (evicted
+				// since the view accumulated it): retire it so the delta
+				// state converges instead of re-asking forever. Another
+				// peer's view may still supply it this same round.
+				delete(view.keys, key)
+				delete(seen, key)
+				continue
+			}
+			if err != nil {
 				r.failures.Add(1)
 				missing++
 				continue

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,9 +19,12 @@ import (
 // over the real peer protocol (blobs and manifest) by an httptest
 // server. The handler closes over the member so the server can start —
 // and its URL enter the shared peer list — before the Tier exists.
+// gets counts blob fetches served, so tests can assert what a peer was
+// (or was not) asked for.
 type member struct {
-	tr *Tier
-	ts *httptest.Server
+	tr   *Tier
+	ts   *httptest.Server
+	gets atomic.Int64
 }
 
 func newMembers(t *testing.T, n int) []*member {
@@ -30,9 +35,14 @@ func newMembers(t *testing.T, n int) []*member {
 		m := &member{}
 		mux := http.NewServeMux()
 		mux.HandleFunc("GET /v1/tier/manifest", func(w http.ResponseWriter, r *http.Request) {
-			m.tr.ServeManifest(w)
+			var since uint64
+			if v := r.URL.Query().Get("since"); v != "" {
+				since, _ = strconv.ParseUint(v, 10, 64)
+			}
+			m.tr.ServeManifest(w, since)
 		})
 		mux.HandleFunc("GET /v1/tier/{key}", func(w http.ResponseWriter, r *http.Request) {
+			m.gets.Add(1)
 			m.tr.ServeGet(w, r.PathValue("key"))
 		})
 		mux.HandleFunc("PUT /v1/tier/{key}", func(w http.ResponseWriter, r *http.Request) {
@@ -331,5 +341,116 @@ func TestPeerClientInjectedFaults(t *testing.T) {
 	}
 	if calls != 0 {
 		t.Fatal("injected manifest failure still sent a request")
+	}
+}
+
+// TestRepairDeltaCursorAndRetirement walks the steady-state delta
+// protocol: after convergence a round is a pure cursor exchange, a key
+// written past the cursor is the only thing the next delta advertises,
+// and a remembered key the peer has since dropped is discovered as one
+// clean miss (ErrPeerMiss), retired from the view, and never asked for
+// again.
+func TestRepairDeltaCursorAndRetirement(t *testing.T) {
+	ms := newMembers(t, 2)
+	a, b := ms[0], ms[1]
+	owned := keysOwnedBy(t, a.tr.Ring(), a.ts.URL, 4)
+	for _, key := range owned[:3] {
+		if err := b.tr.Disk().Put(key, smallBlob()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := NewRepairer(a.tr, RepairConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Round(bg); got != 3 {
+		t.Fatalf("first round pulled %d keys, want 3", got)
+	}
+	// Converged: a delta round advertises nothing and fetches nothing.
+	before := b.gets.Load()
+	if got := rep.Round(bg); got != 0 {
+		t.Fatalf("converged round pulled %d keys, want 0", got)
+	}
+	if b.gets.Load() != before {
+		t.Fatal("converged round still fetched blobs")
+	}
+
+	// One key written after the cursor: the delta surfaces exactly it.
+	if err := b.tr.Disk().Put(owned[3], smallBlob()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Round(bg); got != 1 {
+		t.Fatalf("delta round pulled %d keys, want 1", got)
+	}
+	if !a.tr.Disk().Has(owned[3]) {
+		t.Fatal("delta round pulled the wrong key")
+	}
+
+	// Retirement: both sides drop a key the view remembers. The next
+	// round discovers the clean miss (one fetch, no failure counted);
+	// the round after never asks again.
+	a.tr.Disk().Delete(owned[0])
+	b.tr.Disk().Delete(owned[0])
+	if got := rep.Round(bg); got != 0 {
+		t.Fatalf("retirement round pulled %d keys, want 0", got)
+	}
+	if st := rep.Stats(); st.Failures != 0 {
+		t.Fatalf("clean miss counted as a failure: %+v", st)
+	}
+	before = b.gets.Load()
+	if got := rep.Round(bg); got != 0 {
+		t.Fatalf("post-retirement round pulled %d keys, want 0", got)
+	}
+	if b.gets.Load() != before {
+		t.Fatal("retired key was asked for again")
+	}
+}
+
+// TestRepairFullListFallbackAfterPeerRestart pins the stale-cursor
+// degradation: a peer whose store restarted (generation counter reset
+// below the repairer's cursor) answers with the full listing, the view
+// is rebuilt from it, and keys the new incarnation holds under old
+// generations are still pulled — a stale cursor never silently hides
+// keys.
+func TestRepairFullListFallbackAfterPeerRestart(t *testing.T) {
+	ms := newMembers(t, 2)
+	a, b := ms[0], ms[1]
+	urls := []string{ms[0].ts.URL, ms[1].ts.URL}
+	owned := keysOwnedBy(t, a.tr.Ring(), a.ts.URL, 3)
+	for _, key := range owned[:2] {
+		if err := b.tr.Disk().Put(key, smallBlob()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := NewRepairer(a.tr, RepairConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Round(bg); got != 2 {
+		t.Fatalf("first round pulled %d keys, want 2 (the cursor must outrun the restart)", got)
+	}
+
+	// B restarts wiped: a fresh Tier on an empty dir behind the same
+	// URL (the test mux closes over the member, so swapping tr is the
+	// restart). Its first write lands at generation 1 — below A's
+	// cursor of 2.
+	fresh, err := New(Config{
+		Dir:   t.TempDir(),
+		Peers: urls,
+		Self:  b.ts.URL,
+		Peer:  PeerConfig{Retry: backoff.Policy{Attempts: 2, Base: time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.tr = fresh
+	if err := b.tr.Disk().Put(owned[2], smallBlob()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Round(bg); got != 1 {
+		t.Fatalf("post-restart round pulled %d keys, want 1 via the full-list fallback", got)
+	}
+	if !a.tr.Disk().Has(owned[2]) {
+		t.Fatal("full-list fallback missed the restarted peer's key")
 	}
 }

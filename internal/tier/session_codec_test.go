@@ -1,0 +1,137 @@
+package tier
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"samr/internal/geom"
+	"samr/internal/grid"
+	"samr/internal/partition"
+)
+
+// snapshotHierarchy builds a small two-level hierarchy whose finest
+// patch is parameterized, tracked so a signature state can be exported.
+func snapshotHierarchy(x int) *grid.Hierarchy {
+	h := grid.NewHierarchy(geom.NewBox2(0, 0, 32, 32), 2)
+	h.Levels = append(h.Levels, grid.Level{Boxes: geom.BoxList{geom.NewBox2(x, 8, x+16, 40)}})
+	h.TrackSignature()
+	return h
+}
+
+func snapshotVariants(t *testing.T) map[string]*SessionSnapshot {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(41, 43))
+	mk := func(x int, stateful bool) *SessionSnapshot {
+		h := snapshotHierarchy(x)
+		st, ok := h.ExportSignatureState()
+		if !ok {
+			t.Fatal("tracked hierarchy exported no signature state")
+		}
+		name := "domain"
+		if stateful {
+			name = "postmap(domain)"
+		}
+		return &SessionSnapshot{Name: name, NProcs: 8, Hierarchy: h, Sig: st, Stateful: stateful}
+	}
+	withHistory := mk(8, true)
+	withHistory.PrevHierarchy = snapshotHierarchy(4)
+	withHistory.PrevAssignment = randAssignment(rng)
+	return map[string]*SessionSnapshot{
+		"stateless":             mk(0, false),
+		"stateful-no-history":   mk(4, true),
+		"stateful-with-history": withHistory,
+	}
+}
+
+// TestSessionSnapshotRoundTrip pins the codec across all three session
+// shapes: everything a resuming daemon needs — geometry, signature
+// state, spec, history — survives byte-exactly, and the decoded pair
+// passes the signature import that gates a real resume.
+func TestSessionSnapshotRoundTrip(t *testing.T) {
+	for name, ss := range snapshotVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			blob := EncodeSessionSnapshot(ss)
+			if _, kind, err := Open(blob); err != nil || kind != KindSessionSnapshot {
+				t.Fatalf("Open = kind %d, err %v", kind, err)
+			}
+			got, err := DecodeSessionSnapshot(blob)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got.Name != ss.Name || got.NProcs != ss.NProcs || got.Stateful != ss.Stateful {
+				t.Fatalf("scalar fields changed: %+v", got)
+			}
+			if got.Hierarchy.Signature() != ss.Hierarchy.Signature() {
+				t.Fatal("hierarchy geometry changed in round trip")
+			}
+			if !reflect.DeepEqual(got.Sig, ss.Sig) {
+				t.Fatal("signature state changed in round trip")
+			}
+			// The decoded pair must survive the resume gate: re-track the
+			// geometry and match the recorded state byte-for-byte.
+			if err := got.Hierarchy.ImportSignatureState(got.Sig); err != nil {
+				t.Fatalf("decoded snapshot fails its own signature import: %v", err)
+			}
+			if ss.PrevHierarchy == nil {
+				if got.PrevHierarchy != nil || got.PrevAssignment != nil {
+					t.Fatal("history materialized from nowhere")
+				}
+				return
+			}
+			if got.PrevHierarchy == nil || got.PrevHierarchy.Signature() != ss.PrevHierarchy.Signature() {
+				t.Fatal("history hierarchy changed in round trip")
+			}
+			if !reflect.DeepEqual(got.PrevAssignment, ss.PrevAssignment) {
+				t.Fatal("history assignment changed in round trip")
+			}
+		})
+	}
+}
+
+// TestSessionSnapshotMutationDetected: every single-byte flip,
+// truncation, extension, and kind confusion fails to decode — the
+// quarantine path's precondition.
+func TestSessionSnapshotMutationDetected(t *testing.T) {
+	ss := snapshotVariants(t)["stateful-with-history"]
+	blob := EncodeSessionSnapshot(ss)
+	for i := range blob {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x41
+		if _, err := DecodeSessionSnapshot(mut); err == nil {
+			t.Fatalf("flipped byte %d decoded cleanly", i)
+		}
+	}
+	for cut := 1; cut <= len(blob); cut += 11 {
+		if _, err := DecodeSessionSnapshot(blob[:len(blob)-cut]); err == nil {
+			t.Fatalf("truncation by %d decoded cleanly", cut)
+		}
+	}
+	if _, err := DecodeSessionSnapshot(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("extended blob decoded cleanly")
+	}
+	if _, err := DecodeSessionSnapshot(nil); err == nil {
+		t.Fatal("nil blob decoded cleanly")
+	}
+	if _, err := DecodeSessionSnapshot(smallBlob()); err == nil {
+		t.Fatal("assignment blob decoded as a session snapshot")
+	}
+	if _, err := DecodeAssignment(blob); err == nil {
+		t.Fatal("session snapshot decoded as an assignment")
+	}
+}
+
+func FuzzDecodeSessionSnapshot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeSessionSnapshot(&SessionSnapshot{
+		Name: "domain", NProcs: 1, Hierarchy: snapshotHierarchy(0),
+	}))
+	f.Add(EncodeAssignment(&partition.Assignment{NumProcs: 2}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic or over-allocate; errors are expected.
+		ss, err := DecodeSessionSnapshot(data)
+		if err == nil && ss == nil {
+			t.Fatal("nil snapshot with nil error")
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -306,17 +307,29 @@ func (t *Tier) ServeGet(w http.ResponseWriter, key string) {
 	w.Write(blob) //nolint:errcheck
 }
 
+// ManifestGenHeader carries the store's write generation on manifest
+// replies; a delta-manifest caller sends it back as the since cursor.
+// Its absence marks a peer predating delta manifests, and the caller
+// stays on full listings.
+const ManifestGenHeader = "X-Samr-Manifest-Gen"
+
 // ServeManifest is the anti-entropy read handler body: it answers the
 // disk store's resident key list as text/plain, one key per line,
-// sorted. internal/server routes GET /v1/tier/manifest here when
-// repair is enabled.
-func (t *Tier) ServeManifest(w http.ResponseWriter) {
+// sorted, with the store's write generation in ManifestGenHeader.
+// since > 0 (a cursor from a previous manifest's generation header)
+// narrows the listing to keys written after that generation; 0 — and
+// any cursor the store's restarted counter no longer covers — answers
+// the full list. internal/server routes GET /v1/tier/manifest here
+// when repair is enabled.
+func (t *Tier) ServeManifest(w http.ResponseWriter, since uint64) {
 	if t.disk == nil {
 		http.Error(w, "no disk store", http.StatusNotFound)
 		return
 	}
+	keys, gen := t.disk.KeysSince(since)
+	w.Header().Set(ManifestGenHeader, strconv.FormatUint(gen, 10))
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for _, key := range t.disk.Keys() {
+	for _, key := range keys {
 		io.WriteString(w, key)  //nolint:errcheck
 		io.WriteString(w, "\n") //nolint:errcheck
 	}
